@@ -1,0 +1,53 @@
+// Command datagen emits the synthetic datasets the PUMA benchmarks
+// consume (Wikipedia-like text, Netflix-like ratings, TeraGen records)
+// to stdout or a file. Output is deterministic in the seed.
+//
+// Usage:
+//
+//	datagen -kind wikipedia|netflix|teragen -size-mb 64 [-seed 1] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexmap/internal/datagen"
+)
+
+func main() {
+	kind := flag.String("kind", "wikipedia", "dataset kind: wikipedia, netflix, teragen")
+	sizeMB := flag.Int("size-mb", 64, "approximate output size in MB")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	size := *sizeMB * 1024 * 1024
+	var data []byte
+	switch *kind {
+	case "wikipedia":
+		data = datagen.Wikipedia(size, *seed)
+	case "netflix":
+		data = datagen.Netflix(size, *seed)
+	case "teragen":
+		data = datagen.TeraGen(size, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(data); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}

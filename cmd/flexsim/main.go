@@ -1,0 +1,160 @@
+// Command flexsim runs one MapReduce job on a simulated heterogeneous
+// cluster under a chosen execution engine and prints the paper's metrics
+// plus an optional per-attempt trace.
+//
+// Usage:
+//
+//	flexsim [-cluster physical|virtual|multitenant|homogeneous|heterogeneous]
+//	        [-engine hadoop|hadoop-nospec|skewtune|flexmap] [-split 64]
+//	        [-bench wordcount] [-size-gb 20] [-reducers 0(auto)]
+//	        [-slow-fraction 0.2] [-seed 42] [-trace]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"flexmap"
+)
+
+func main() {
+	clusterName := flag.String("cluster", "physical", "cluster profile: physical, virtual, multitenant, homogeneous, heterogeneous")
+	engineName := flag.String("engine", "flexmap", "engine: hadoop, hadoop-nospec, skewtune, flexmap")
+	splitMB := flag.Int("split", 64, "HDFS split size in MB for hadoop/skewtune")
+	benchName := flag.String("bench", "wordcount", "PUMA benchmark name")
+	sizeGB := flag.Int64("size-gb", 20, "input size in GB")
+	reducers := flag.Int("reducers", 0, "reduce task count (0 = one per cluster slot)")
+	slowFraction := flag.Float64("slow-fraction", 0.20, "slow-node fraction for -cluster multitenant")
+	nodes := flag.Int("nodes", 6, "node count for -cluster homogeneous")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	trace := flag.Bool("trace", false, "print the per-attempt trace")
+	jsonOut := flag.String("json", "", "write the attempt trace as JSON Lines to this file")
+	inputFile := flag.String("input", "", "run LIVE over this real input file (map/reduce functions execute; overrides -size-gb)")
+	skew := flag.Float64("skew", 0, "lognormal sigma of per-block data-skew weights (0 = uniform)")
+	flag.Parse()
+
+	var factory flexmap.ClusterFactory
+	switch *clusterName {
+	case "physical":
+		factory = flexmap.ClusterPhysical12
+	case "virtual":
+		factory = flexmap.ClusterVirtual20(*seed)
+	case "multitenant":
+		factory = flexmap.ClusterMultiTenant40(*slowFraction, *seed)
+	case "homogeneous":
+		factory = flexmap.ClusterHomogeneous(*nodes)
+	case "heterogeneous":
+		factory = flexmap.ClusterHeterogeneous6
+	default:
+		fatalf("unknown cluster %q", *clusterName)
+	}
+
+	clus, _ := factory()
+	r := *reducers
+	if r == 0 {
+		r = clus.TotalSlots()
+	}
+	spec, err := flexmap.PUMASpec(flexmap.Benchmark(*benchName), r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	sc := flexmap.Scenario{
+		Name:      *clusterName,
+		Cluster:   factory,
+		Seed:      *seed,
+		InputSize: *sizeGB * flexmap.GB,
+		SkewSigma: *skew,
+	}
+	if *inputFile != "" {
+		data, err := os.ReadFile(*inputFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sc.InputSize = 0
+		sc.InputData = data
+	}
+	eng := flexmap.Engine{Kind: flexmap.EngineKind(*engineName), SplitMB: *splitMB}
+	res, err := flexmap.Run(sc, spec, eng)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("job        %s on %s under %s (seed %d)\n", spec.Name, res.Cluster.Name, eng, *seed)
+	fmt.Printf("JCT        %.1fs\n", float64(res.JCT()))
+	fmt.Printf("map phase  %.1fs\n", float64(res.MapPhaseRuntime()))
+	fmt.Printf("efficiency %.3f (Eq. 2)\n", res.Efficiency())
+	maps := res.MapAttempts()
+	prod := 0.0
+	for _, a := range maps {
+		prod += a.Productivity()
+	}
+	if len(maps) > 0 {
+		fmt.Printf("mean map productivity %.3f over %d tasks (Eq. 1)\n", prod/float64(len(maps)), len(maps))
+	}
+	fmt.Printf("speculative launches %d, remote bytes %d MB, repartitioned %d MB\n",
+		res.SpeculativeLaunches, res.RemoteBytesRead/flexmap.MB, res.RepartitionBytes/flexmap.MB)
+	if len(res.Output) > 0 {
+		fmt.Printf("live output: %d distinct keys\n", len(res.Output))
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSONTrace(*jsonOut, res); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("attempt trace written to %s\n", *jsonOut)
+	}
+
+	if *trace {
+		fmt.Println("\ntask trace:")
+		for _, a := range res.Attempts {
+			status := "ok"
+			if a.Killed {
+				status = "killed"
+			}
+			fmt.Printf("  %-14s %-6s node=%-2d wave=%-2d start=%7.1f end=%7.1f size=%4dMB local=%d/%d prod=%.2f %s\n",
+				a.Task, a.Type, a.Node, a.Wave, float64(a.Start), float64(a.End),
+				a.Bytes/flexmap.MB, a.LocalBUs, a.BUs, a.Productivity(), status)
+		}
+	}
+}
+
+// writeJSONTrace dumps every attempt record (and FlexMap size samples, if
+// present) as JSON Lines for downstream analysis.
+func writeJSONTrace(path string, res *flexmap.RunResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, a := range res.Attempts {
+		rec := map[string]any{
+			"kind": "attempt", "task": a.Task, "type": a.Type.String(),
+			"node": a.Node, "wave": a.Wave, "start": float64(a.Start),
+			"end": float64(a.End), "bytes": a.Bytes, "bus": a.BUs,
+			"localBUs": a.LocalBUs, "speculative": a.Speculative,
+			"killed": a.Killed, "productivity": a.Productivity(),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	for _, sample := range res.SizeTrace {
+		rec := map[string]any{
+			"kind": "size", "task": sample.Task, "node": sample.Node,
+			"bus": sample.BUs, "sizeUnit": sample.SizeUnit, "relSpeed": sample.RelSpeed,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flexsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Command paperfigs regenerates the tables and figures of the FlexMap
+// paper (IPDPS 2017) from the simulator and prints them as aligned text
+// tables.
+//
+// Usage:
+//
+//	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead]
+//	          [-seed N] [-scale N] [-bench WC,GR,...]
+//
+// -scale divides the paper's input sizes (1 = full scale). Each
+// experiment prints the series the corresponding paper figure plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flexmap/internal/experiments"
+	"flexmap/internal/puma"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, tableI, tableII, fig1, fig2, fig3, fig5, fig6, fig7, fig8, overhead, ablation, skew)")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	scale := flag.Int64("scale", 1, "divide paper input sizes by this factor")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (short names, e.g. WC,GR)")
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	if *benchList != "" {
+		short := map[string]puma.Benchmark{}
+		for _, b := range puma.All {
+			short[b.Short()] = b
+		}
+		for _, name := range strings.Split(*benchList, ",") {
+			b, ok := short[strings.ToUpper(strings.TrimSpace(name))]
+			if !ok {
+				fatalf("unknown benchmark %q", name)
+			}
+			cfg.Benchmarks = append(cfg.Benchmarks, b)
+		}
+	}
+
+	run := func(name string, fn func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := fn()
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+	}
+
+	run("tableI", func() (string, error) { return experiments.TableI(), nil })
+	run("tableII", func() (string, error) { return experiments.TableII(), nil })
+	run("fig1", func() (string, error) {
+		r, err := experiments.Fig1(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig2", func() (string, error) {
+		r, err := experiments.Fig2(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig3", func() (string, error) {
+		r, err := experiments.Fig3(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	for _, which := range []string{"fig5", "fig6"} {
+		which := which
+		run(which, func() (string, error) {
+			var parts []string
+			for _, clusterName := range []string{"physical", "virtual"} {
+				r, err := experiments.Fig56(cfg, clusterName)
+				if err != nil {
+					return "", err
+				}
+				if which == "fig5" {
+					parts = append(parts, r.RenderFig5())
+				} else {
+					parts = append(parts, r.RenderFig6())
+				}
+			}
+			return strings.Join(parts, "\n"), nil
+		})
+	}
+	run("overhead", func() (string, error) {
+		r, err := experiments.Overhead(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig7", func() (string, error) {
+		r, err := experiments.Fig7(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("fig8", func() (string, error) {
+		r, err := experiments.Fig8(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("ablation", func() (string, error) {
+		r, err := experiments.Ablation(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("skew", func() (string, error) {
+		r, err := experiments.Skew(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "paperfigs: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package flexmap_test
+
+import (
+	"fmt"
+
+	"flexmap"
+)
+
+// Example runs wordcount on the Table I heterogeneous cluster under stock
+// Hadoop and FlexMap, comparing job completion time. Every run is a pure
+// function of the seed, so the output is deterministic.
+func Example() {
+	sc := flexmap.Scenario{
+		Name:      "example",
+		Cluster:   flexmap.ClusterHeterogeneous6,
+		Seed:      1,
+		InputSize: 4 * flexmap.GB,
+	}
+	spec, err := flexmap.PUMASpec(flexmap.WordCount, 6)
+	if err != nil {
+		panic(err)
+	}
+
+	stock, err := flexmap.Run(sc, spec, flexmap.Engine{Kind: flexmap.Hadoop, SplitMB: 64})
+	if err != nil {
+		panic(err)
+	}
+	flex, err := flexmap.Run(sc, spec, flexmap.Engine{Kind: flexmap.FlexMap})
+	if err != nil {
+		panic(err)
+	}
+	bus := func(r *flexmap.RunResult) int {
+		total := 0
+		for _, a := range r.MapAttempts() {
+			total += a.BUs
+		}
+		return total
+	}
+	fmt.Printf("stock finished: %v\n", stock.JCT() > 0)
+	fmt.Printf("flexmap finished: %v\n", flex.JCT() > 0)
+	fmt.Printf("both processed every block unit: %v\n", bus(stock) == bus(flex))
+	// Output:
+	// stock finished: true
+	// flexmap finished: true
+	// both processed every block unit: true
+}
+
+// ExampleRun_live executes real map/reduce functions over real generated
+// data: the simulator controls *when* tasks run, the PUMA functions
+// control *what* they compute.
+func ExampleRun_live() {
+	sc := flexmap.Scenario{
+		Name:      "live",
+		Cluster:   flexmap.ClusterHomogeneous(3),
+		Seed:      2,
+		InputData: []byte("doc-0\tgo gophers go\ndoc-1\tgo\n"),
+	}
+	spec, err := flexmap.PUMASpec(flexmap.WordCount, 2)
+	if err != nil {
+		panic(err)
+	}
+	res, err := flexmap.Run(sc, spec, flexmap.Engine{Kind: flexmap.FlexMap})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("go=%s gophers=%s\n", res.Output["go"], res.Output["gophers"])
+	// Output:
+	// go=3 gophers=1
+}

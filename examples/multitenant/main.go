@@ -1,0 +1,48 @@
+// Multitenant: reproduce the trend of the paper's Fig. 8 — on a 40-node
+// multi-tenant cluster, FlexMap's advantage over stock Hadoop grows as
+// more nodes are slowed by co-running tenants, while speculation alone
+// only helps when slow nodes are few.
+//
+//	go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexmap"
+)
+
+func main() {
+	fmt.Println("wordcount, 256 GB (Table II large input), 40-node multi-tenant cluster")
+	fmt.Printf("%-10s %14s %14s %14s %12s\n",
+		"slow %", "hadoop", "no-spec", "flexmap", "gain")
+
+	for _, frac := range []float64{0.05, 0.10, 0.20, 0.40} {
+		factory := flexmap.ClusterMultiTenant40(frac, 7)
+		clus, _ := factory()
+		spec, err := flexmap.PUMASpec(flexmap.WordCount, clus.TotalSlots())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := flexmap.Scenario{
+			Name:      "multitenant",
+			Cluster:   factory,
+			Seed:      42,
+			InputSize: 256 * flexmap.GB, // Fig. 8 uses the large inputs — FlexMap's
+			// sizing ramp needs a long job to amortize (see EXPERIMENTS.md)
+		}
+		jct := map[flexmap.EngineKind]float64{}
+		for _, kind := range []flexmap.EngineKind{flexmap.Hadoop, flexmap.HadoopNoSpec, flexmap.FlexMap} {
+			res, err := flexmap.Run(sc, spec, flexmap.Engine{Kind: kind, SplitMB: 64})
+			if err != nil {
+				log.Fatal(err)
+			}
+			jct[kind] = float64(res.JCT())
+		}
+		gain := (jct[flexmap.Hadoop] - jct[flexmap.FlexMap]) / jct[flexmap.Hadoop] * 100
+		fmt.Printf("%-10.0f %13.1fs %13.1fs %13.1fs %11.1f%%\n",
+			frac*100, jct[flexmap.Hadoop], jct[flexmap.HadoopNoSpec], jct[flexmap.FlexMap], gain)
+	}
+	fmt.Println("\ngain = FlexMap JCT reduction vs stock Hadoop (with LATE speculation)")
+}

@@ -1,0 +1,149 @@
+// Package flexmap is a Go reproduction of "Addressing Performance
+// Heterogeneity in MapReduce Clusters with Elastic Tasks" (Chen, Rao,
+// Zhou — IEEE IPDPS 2017).
+//
+// It provides a deterministic discrete-event MapReduce/YARN cluster
+// simulator with four interchangeable map-execution engines:
+//
+//   - Hadoop       — stock Hadoop with LATE speculation
+//   - HadoopNoSpec — stock Hadoop, speculation disabled
+//   - SkewTune     — stop-and-repartition skew mitigation
+//   - FlexMap      — the paper's contribution: elastic multi-block map
+//     tasks with late binding, speed monitoring, dynamic
+//     sizing, and capacity-biased reduce dispatch
+//
+// A run is described by a Scenario (cluster profile + input data + seed)
+// and a job spec; Run executes it and returns the paper's metrics (job
+// completion time, Eq. 1 productivity, Eq. 2 efficiency) plus the full
+// attempt trace.
+//
+//	sc := flexmap.Scenario{
+//	    Name:      "quickstart",
+//	    Cluster:   flexmap.ClusterHeterogeneous6,
+//	    Seed:      1,
+//	    InputSize: 2 * flexmap.GB,
+//	}
+//	spec, _ := flexmap.PUMASpec(flexmap.WordCount, 6)
+//	res, _ := flexmap.Run(sc, spec, flexmap.Engine{Kind: flexmap.FlexMap})
+//	fmt.Println(res.JCT(), res.Efficiency())
+//
+// The experiment harnesses that regenerate every table and figure of the
+// paper live in internal/experiments and are runnable via cmd/paperfigs.
+package flexmap
+
+import (
+	"flexmap/internal/cluster"
+	"flexmap/internal/core"
+	"flexmap/internal/dfs"
+	"flexmap/internal/engine"
+	"flexmap/internal/mr"
+	"flexmap/internal/puma"
+	"flexmap/internal/runner"
+)
+
+// Re-exported size units.
+const (
+	MB = runner.MB
+	GB = runner.GB
+)
+
+// BUSize is the FlexMap block unit (8 MB).
+const BUSize = dfs.BUSize
+
+// DefaultNoiseSigma is the default lognormal sigma of per-task runtime
+// noise; set Scenario.NoiseSigma negative to disable noise.
+const DefaultNoiseSigma = runner.DefaultNoiseSigma
+
+// Type aliases so callers need only this package for common use.
+type (
+	// JobSpec describes a MapReduce job (see internal/mr).
+	JobSpec = mr.JobSpec
+	// JobResult is a completed run's metrics and attempt trace.
+	JobResult = mr.JobResult
+	// AttemptRecord is one task attempt in the trace.
+	AttemptRecord = mr.AttemptRecord
+	// CostModel is the calibrated execution cost model.
+	CostModel = engine.CostModel
+	// Cluster is a set of worker nodes.
+	Cluster = cluster.Cluster
+	// Interferer perturbs node speeds over time.
+	Interferer = cluster.Interferer
+	// SizeSample is one dispatched FlexMap task size (Fig. 7 traces).
+	SizeSample = core.SizeSample
+	// Benchmark names a PUMA workload.
+	Benchmark = puma.Benchmark
+	// EngineKind selects a map-execution engine.
+	EngineKind = runner.EngineKind
+	// Engine selects an engine plus its parameters.
+	Engine = runner.Engine
+	// ClusterFactory builds a fresh cluster per run.
+	ClusterFactory = runner.ClusterFactory
+	// Scenario describes the fixed conditions of a comparison.
+	Scenario = runner.Scenario
+	// RunResult bundles a JobResult with engine-specific traces.
+	RunResult = runner.Result
+)
+
+// PUMA benchmark names, re-exported.
+const (
+	WordCount        = puma.WordCount
+	InvertedIndex    = puma.InvertedIndex
+	TermVector       = puma.TermVector
+	Grep             = puma.Grep
+	KMeans           = puma.KMeans
+	HistogramMovies  = puma.HistogramMovies
+	HistogramRatings = puma.HistogramRatings
+	TeraSort         = puma.TeraSort
+)
+
+// The four engines the paper evaluates.
+const (
+	Hadoop       = runner.Hadoop
+	HadoopNoSpec = runner.HadoopNoSpec
+	SkewTune     = runner.SkewTune
+	FlexMap      = runner.FlexMap
+)
+
+// ClusterPhysical12 is the 12-node Table I hardware mix.
+func ClusterPhysical12() (*Cluster, Interferer) { return cluster.Physical12(), nil }
+
+// ClusterHeterogeneous6 is the 6-node heterogeneous cluster of Fig. 3(d).
+func ClusterHeterogeneous6() (*Cluster, Interferer) { return cluster.Heterogeneous6(), nil }
+
+// ClusterHomogeneous returns a factory for an n-node uniform cluster
+// with the paper profiles' per-node slot count.
+func ClusterHomogeneous(n int) ClusterFactory {
+	return func() (*Cluster, Interferer) { return cluster.HomogeneousPaper(n), nil }
+}
+
+// ClusterVirtual20 returns a factory for the 20-node virtual cluster with
+// seeded dynamic interference.
+func ClusterVirtual20(seed int64) ClusterFactory {
+	return func() (*Cluster, Interferer) {
+		c, inf := cluster.Virtual20(seed)
+		return c, inf
+	}
+}
+
+// ClusterMultiTenant40 returns a factory for the 40-node multi-tenant
+// cluster with the given slow-node fraction.
+func ClusterMultiTenant40(slowFraction float64, seed int64) ClusterFactory {
+	return func() (*Cluster, Interferer) {
+		return cluster.MultiTenant40(slowFraction, seed)
+	}
+}
+
+// PUMASpec builds the job spec for a PUMA benchmark reading the
+// scenario's input file ("input"), with real map/reduce functions
+// attached for live runs. See puma.Spec.
+func PUMASpec(b Benchmark, reducers int) (JobSpec, error) {
+	return puma.Spec(b, "input", reducers)
+}
+
+// Run executes one job under one engine and returns its result.
+func Run(sc Scenario, spec JobSpec, eng Engine) (*RunResult, error) {
+	return runner.Run(sc, spec, eng)
+}
+
+// DefaultCost returns the calibrated cost model.
+func DefaultCost() CostModel { return engine.DefaultCostModel() }

@@ -1,0 +1,3 @@
+module flexmap
+
+go 1.22

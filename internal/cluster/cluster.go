@@ -1,0 +1,258 @@
+// Package cluster models heterogeneous MapReduce clusters: worker nodes
+// with distinct processing speeds, container slots, and time-varying
+// interference, plus the three testbed profiles evaluated in the FlexMap
+// paper (12-node physical, 20-node virtual, 40-node multi-tenant).
+//
+// A node's effective speed is BaseSpeed × interference multiplier. The
+// multiplier is piecewise-constant in virtual time; interference processes
+// change it and registered listeners (running task attempts) are notified
+// so they can re-plan their completion events.
+package cluster
+
+import (
+	"fmt"
+
+	"flexmap/internal/randutil"
+	"flexmap/internal/sim"
+)
+
+// NodeID identifies a worker node within a cluster.
+type NodeID int
+
+// Node is a single worker machine.
+type Node struct {
+	ID    NodeID
+	Name  string
+	Class string // machine model, e.g. "PowerEdge T430"
+
+	// BaseSpeed is the node's relative processing capability with the
+	// slowest hardware generation at 1.0. It never changes.
+	BaseSpeed float64
+
+	// Slots is the number of containers the node can run concurrently.
+	Slots int
+
+	interference float64 // current multiplier in (0,1]; 1 = no interference
+	listeners    []func(*Node)
+}
+
+// Speed returns the node's current effective speed.
+func (n *Node) Speed() float64 { return n.BaseSpeed * n.interference }
+
+// Interference returns the current interference multiplier in (0,1].
+func (n *Node) Interference() float64 { return n.interference }
+
+// SetInterference updates the interference multiplier and notifies
+// listeners. Values outside (0,1] panic: a multiplier above 1 would mean
+// interference speeds the node up.
+func (n *Node) SetInterference(mult float64) {
+	if mult <= 0 || mult > 1 {
+		panic(fmt.Sprintf("cluster: interference multiplier %v out of (0,1]", mult))
+	}
+	if mult == n.interference {
+		return
+	}
+	n.interference = mult
+	for _, fn := range n.listeners {
+		fn(n)
+	}
+}
+
+// OnSpeedChange registers a callback invoked whenever the node's effective
+// speed changes.
+func (n *Node) OnSpeedChange(fn func(*Node)) {
+	n.listeners = append(n.listeners, fn)
+}
+
+// Cluster is a named set of worker nodes plus shared fabric parameters.
+type Cluster struct {
+	Name  string
+	Nodes []*Node
+
+	// NetBW is the per-flow network bandwidth in MB/s used for remote
+	// block reads and shuffle fetches. The paper's testbeds use 10 Gbps
+	// Ethernet (~1250 MB/s).
+	NetBW float64
+}
+
+// NewCluster builds a cluster from node specs. Each spec contributes one
+// node; slots default to 2 and base speed to 1.0 when zero.
+func NewCluster(name string, specs []NodeSpec) *Cluster {
+	c := &Cluster{Name: name, NetBW: 1250}
+	for i, s := range specs {
+		speed := s.BaseSpeed
+		if speed == 0 {
+			speed = 1.0
+		}
+		if speed < 0 || s.Slots < 0 {
+			panic(fmt.Sprintf("cluster: node %d has negative speed or slots", i))
+		}
+		slots := s.Slots
+		if slots == 0 {
+			slots = 2
+		}
+		nodeName := s.Name
+		if nodeName == "" {
+			nodeName = fmt.Sprintf("node-%02d", i)
+		}
+		c.Nodes = append(c.Nodes, &Node{
+			ID:           NodeID(i),
+			Name:         nodeName,
+			Class:        s.Class,
+			BaseSpeed:    speed,
+			Slots:        slots,
+			interference: 1.0,
+		})
+	}
+	return c
+}
+
+// NodeSpec describes one node to NewCluster.
+type NodeSpec struct {
+	Name      string
+	Class     string
+	BaseSpeed float64
+	Slots     int
+}
+
+// Size returns the number of worker nodes.
+func (c *Cluster) Size() int { return len(c.Nodes) }
+
+// TotalSlots returns the number of container slots in the cluster.
+func (c *Cluster) TotalSlots() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += n.Slots
+	}
+	return total
+}
+
+// Node returns the node with the given ID. It panics on an unknown ID —
+// node IDs are dense indices assigned by NewCluster.
+func (c *Cluster) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(c.Nodes) {
+		panic(fmt.Sprintf("cluster: unknown node %d", id))
+	}
+	return c.Nodes[id]
+}
+
+// SlowestSpeed returns the minimum current effective speed across nodes.
+func (c *Cluster) SlowestSpeed() float64 {
+	min := c.Nodes[0].Speed()
+	for _, n := range c.Nodes[1:] {
+		if s := n.Speed(); s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// FastestSpeed returns the maximum current effective speed across nodes.
+func (c *Cluster) FastestSpeed() float64 {
+	max := c.Nodes[0].Speed()
+	for _, n := range c.Nodes[1:] {
+		if s := n.Speed(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Interferer perturbs node speeds over virtual time. Start arms its
+// events on the engine; Stop disarms them.
+type Interferer interface {
+	Start(eng *sim.Engine)
+	Stop()
+}
+
+// staticInterferer applies fixed multipliers once at start.
+type staticInterferer struct {
+	mults map[NodeID]float64
+	c     *Cluster
+}
+
+// NewStaticInterference returns an Interferer that pins the given nodes to
+// fixed multipliers for the whole run (multi-tenant co-runner model).
+func NewStaticInterference(c *Cluster, mults map[NodeID]float64) Interferer {
+	return &staticInterferer{mults: mults, c: c}
+}
+
+func (s *staticInterferer) Start(eng *sim.Engine) {
+	for id, m := range s.mults {
+		s.c.Node(id).SetInterference(m)
+	}
+}
+
+func (s *staticInterferer) Stop() {}
+
+// RandomInterference models a shared cloud: a fixed fraction Prob of the
+// fleet is interfered at any instant (severity drawn from
+// [MinMult, MaxMult]), matching the paper's observation that about 20%
+// of the virtual cluster's map tasks were slowed. Interference is
+// *persistent with drift*: every Period seconds each interfered node
+// migrates to a random clear node with probability Drift, so hotspots
+// move during a job — as the paper notes for its university cloud — but
+// most co-located tenants stay put.
+type RandomInterference struct {
+	Cluster *Cluster
+	Period  sim.Duration // drift period, e.g. 60 s
+	Prob    float64      // fraction of the fleet interfered at any instant
+	Drift   float64      // probability an interfered node migrates each period (default 1)
+	MinMult float64      // harshest slowdown multiplier, e.g. 0.2 (5× slower)
+	MaxMult float64      // mildest slowdown multiplier, e.g. 0.5 (2× slower)
+	RNG     *randutil.Source
+
+	ticker *sim.Ticker
+}
+
+// severity draws an interference multiplier.
+func (r *RandomInterference) severity() float64 {
+	return r.MinMult + r.RNG.Float64()*(r.MaxMult-r.MinMult)
+}
+
+// Start arms the interference process: an immediate roll interfering
+// exactly round(Prob × N) nodes, plus periodic drift migrating hotspots.
+func (r *RandomInterference) Start(eng *sim.Engine) {
+	if r.Period <= 0 {
+		r.Period = 30
+	}
+	if r.Drift <= 0 {
+		r.Drift = 1.0
+	}
+	n := r.Cluster.Size()
+	k := int(r.Prob*float64(n) + 0.5)
+	if k > n {
+		k = n
+	}
+	eng.After(0, "interference-initial", func() {
+		for _, idx := range r.RNG.PickN(n, k) {
+			r.Cluster.Nodes[idx].SetInterference(r.severity())
+		}
+	})
+	r.ticker = sim.NewTicker(eng, r.Period, "interference-drift", func(sim.Time) {
+		var clear []*Node
+		for _, node := range r.Cluster.Nodes {
+			if node.Interference() == 1.0 {
+				clear = append(clear, node)
+			}
+		}
+		for _, node := range r.Cluster.Nodes {
+			if node.Interference() < 1.0 && r.RNG.Float64() < r.Drift && len(clear) > 0 {
+				// The co-located tenant moves: this node clears, a random
+				// clear node becomes the new hotspot.
+				i := r.RNG.Intn(len(clear))
+				target := clear[i]
+				clear = append(clear[:i], clear[i+1:]...)
+				node.SetInterference(1.0)
+				target.SetInterference(r.severity())
+			}
+		}
+	})
+}
+
+// Stop halts future re-rolls; current multipliers remain.
+func (r *RandomInterference) Stop() {
+	if r.ticker != nil {
+		r.ticker.Stop()
+	}
+}

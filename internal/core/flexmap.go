@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/dfs"
+	"flexmap/internal/engine"
+	"flexmap/internal/randutil"
+)
+
+// AM is the FlexMap ApplicationMaster. It replaces stock Hadoop's
+// statically-bound fixed splits with elastic tasks:
+//
+//  1. At submission it indexes the job's BUs in a dfs.Tracker — the
+//     NodeToBlock/BlockToNode maps of Late Task Binding. Map templates
+//     are implicit: a task materializes only when a container is granted.
+//  2. When a slot frees on a node, the AM asks the Sizer for the node's
+//     task size (vertical × horizontal scaling), binds that many BUs —
+//     node-local first — and launches one multi-block map attempt.
+//  3. Heartbeats feed the SpeedMonitor; completed attempts feed
+//     productivity back into the Sizer.
+//  4. Reducers are dispatched with the capacity-biased c² policy.
+//
+// FlexMap keeps YARN's speculative execution (it is built on stock
+// Hadoop): once every BU is provisioned, idle fast nodes may duplicate a
+// straggling elastic task — the safety net for a large task stranded on
+// a node whose speed collapsed after dispatch.
+type AM struct {
+	Name string
+
+	// Speculation, when non-nil, duplicates stragglers after all BUs are
+	// provisioned.
+	Speculation engine.SpeculationPolicy
+
+	// Ablation switches (for the design-choice studies in
+	// internal/experiments): NoVertical freezes the size unit at one BU,
+	// NoHorizontal ignores relative node speed when sizing, and
+	// NoReduceBias falls back to stock's even reduce placement.
+	NoVertical   bool
+	NoHorizontal bool
+	NoReduceBias bool
+
+	d       *engine.Driver
+	tracker *dfs.Tracker
+	monitor *SpeedMonitor
+	sizer   *Sizer
+	rng     *randutil.Source
+
+	nextTask   int
+	attempts   map[string][]*engine.MapAttempt
+	completed  map[string]bool
+	tasksLeft  int // live (incomplete) tasks with attempts in flight
+	activeSpec int
+	waveByNode map[cluster.NodeID]int
+
+	// SizeTrace records every dispatched task's size for Fig. 7.
+	SizeTrace []SizeSample
+}
+
+// SizeSample is one dispatched task size, for the Fig. 7 trace.
+type SizeSample struct {
+	Task     string
+	Node     cluster.NodeID
+	BUs      int
+	SizeUnit int
+	RelSpeed float64
+}
+
+// NewAM builds the FlexMap AM over the driver and registers it with the
+// RM. The rng drives the biased reduce dispatcher's rejection sampling.
+func NewAM(d *engine.Driver, rng *randutil.Source) (*AM, error) {
+	tracker, err := dfs.NewTracker(d.Store, d.Spec.InputFile)
+	if err != nil {
+		return nil, err
+	}
+	am := &AM{
+		Name:       "flexmap",
+		d:          d,
+		tracker:    tracker,
+		monitor:    NewSpeedMonitor(d),
+		sizer:      NewSizer(),
+		rng:        rng,
+		attempts:   make(map[string][]*engine.MapAttempt),
+		completed:  make(map[string]bool),
+		waveByNode: make(map[cluster.NodeID]int),
+	}
+	d.Result.Engine = am.Name
+	d.ReducePlacer = am.placeReducers
+	d.RM.SetScheduler(am)
+	return am, nil
+}
+
+// Driver returns the underlying driver.
+func (am *AM) Driver() *engine.Driver { return am.d }
+
+// Monitor returns the AM's speed monitor.
+func (am *AM) Monitor() *SpeedMonitor { return am.monitor }
+
+// Sizer returns the AM's task sizer.
+func (am *AM) Sizer() *Sizer { return am.sizer }
+
+// OnSlotFree implements yarn.Scheduler: late task binding, then — once
+// every BU is provisioned — speculation on remaining stragglers.
+func (am *AM) OnSlotFree(node *cluster.Node) bool {
+	if am.d.MapsFinished() {
+		return false
+	}
+	if am.tracker.Remaining() == 0 {
+		return am.trySpeculate(node)
+	}
+	rel := am.monitor.RelativeSpeeds()[node.ID]
+	if am.NoHorizontal {
+		rel = 1
+	}
+	size := am.sizer.TaskSize(int(node.ID), rel)
+	// Endgame provisioning: once the remainder no longer fills a full
+	// wave at current sizes, hand it out capacity-proportionally so all
+	// nodes finish together — DataProvision's ideal of data proportional
+	// to capacity — instead of stranding one full-size task on a slow
+	// node after the pool empties.
+	if fair := am.fairShare(node, rel); size > fair {
+		size = fair
+	}
+	if r := am.tracker.Remaining(); size > r {
+		size = r
+	}
+	bus, local := am.tracker.Take(node.ID, size)
+	if len(bus) == 0 {
+		return false
+	}
+	task := fmt.Sprintf("map-%04d", am.nextTask)
+	am.nextTask++
+	am.tasksLeft++
+	am.SizeTrace = append(am.SizeTrace, SizeSample{
+		Task: task, Node: node.ID, BUs: len(bus),
+		SizeUnit: am.sizer.SizeUnit(int(node.ID)), RelSpeed: rel,
+	})
+	am.launch(node, task, bus, local, false)
+	return true
+}
+
+// fairShare returns this node's capacity-proportional share of the
+// remaining BUs when the job is inside its final wave — i.e. when the
+// remainder no longer fills every slot at current task sizes. Outside
+// the final wave it returns a large value (no clamp).
+func (am *AM) fairShare(node *cluster.Node, rel float64) int {
+	rels := am.monitor.RelativeSpeeds()
+	var totalRel float64
+	oneWave := 0
+	for _, n := range am.d.Cluster.Nodes {
+		totalRel += rels[n.ID] * float64(n.Slots)
+		oneWave += n.Slots * am.sizer.TaskSize(int(n.ID), rels[n.ID])
+	}
+	remaining := am.tracker.Remaining()
+	if totalRel <= 0 || remaining >= oneWave {
+		return remaining // not in the endgame; no clamp
+	}
+	share := int(float64(remaining)*rel/totalRel) + 1
+	// Floor at 4 BUs: decaying into a flood of 8 MB tasks would trade a
+	// small tail for massive per-task overhead.
+	if share < 4 {
+		share = 4
+	}
+	if share > remaining {
+		share = remaining
+	}
+	return share
+}
+
+// launch starts one attempt of a task on a node.
+func (am *AM) launch(node *cluster.Node, task string, bus []dfs.BUID, local int, speculative bool) {
+	wave := am.waveByNode[node.ID] / node.Slots
+	am.waveByNode[node.ID]++
+	if speculative {
+		am.activeSpec++
+	}
+	a := am.d.LaunchMap(engine.MapLaunch{
+		Task:        task,
+		Node:        node,
+		Container:   am.d.RM.Acquire(node),
+		BUs:         bus,
+		LocalBUs:    local,
+		Wave:        wave,
+		Speculative: speculative,
+		OnDone:      am.onMapDone,
+	})
+	am.attempts[task] = append(am.attempts[task], a)
+}
+
+func (am *AM) onMapDone(a *engine.MapAttempt) {
+	if a.Speculative {
+		am.activeSpec--
+	}
+	a.Container.Release()
+	if am.completed[a.Task] {
+		return // lost a photo-finish race; winner already committed
+	}
+	am.completed[a.Task] = true
+	am.d.CommitOutput(a)
+	am.monitor.ReportCompletion(a)
+	for _, other := range am.attempts[a.Task] {
+		if other != a && other.Kill() {
+			if other.Speculative {
+				am.activeSpec--
+			}
+			other.Container.Release()
+		}
+	}
+	delete(am.attempts, a.Task)
+	am.tasksLeft--
+
+	// Vertical scaling feedback from this attempt's productivity (Eq. 1):
+	// effective runtime (everything but container+JVM overhead) over
+	// total runtime.
+	if !am.NoVertical {
+		runtime := float64(am.d.Eng.Now() - a.Start)
+		productivity := 0.0
+		if runtime > 0 {
+			productivity = (runtime - float64(am.d.Cost.Overhead())) / runtime
+		}
+		am.sizer.ApplyFeedback(int(a.Node.ID), len(a.BUs), productivity)
+	}
+
+	if am.tracker.Remaining() == 0 && am.tasksLeft == 0 {
+		am.d.MapsDone()
+	}
+}
+
+// trySpeculate duplicates the worst straggler per the policy, reading
+// replicas local to the idle node where possible.
+func (am *AM) trySpeculate(node *cluster.Node) bool {
+	if am.Speculation == nil {
+		return false
+	}
+	var candidates []*engine.MapAttempt
+	for task, list := range am.attempts {
+		if am.completed[task] || len(list) != 1 {
+			continue
+		}
+		if a := list[0]; !a.Speculative && !a.Killed() {
+			candidates = append(candidates, a)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Task < candidates[j].Task })
+	victim := am.Speculation.Pick(am.d, node, candidates, am.activeSpec)
+	if victim == nil {
+		return false
+	}
+	ordered := make([]dfs.BUID, 0, len(victim.BUs))
+	var remote []dfs.BUID
+	for _, id := range victim.BUs {
+		if am.d.Store.HasReplica(node.ID, id) {
+			ordered = append(ordered, id)
+		} else {
+			remote = append(remote, id)
+		}
+	}
+	local := len(ordered)
+	am.launch(node, victim.Task, append(ordered, remote...), local, true)
+	return true
+}
+
+// placeReducers implements §III-F: node i's dispatch bias is c_i² where
+// c_i is capacity normalized to the fastest node. A reducer repeatedly
+// picks a uniformly random node and accepts it with probability c_i²,
+// steering reducers toward the fast nodes that hold most intermediate
+// data.
+func (am *AM) placeReducers(d *engine.Driver) []cluster.NodeID {
+	if am.NoReduceBias {
+		return engine.EvenReducePlacer(d)
+	}
+	caps := am.monitor.NormalizedCapacities()
+	nodes := d.Cluster.Nodes
+	assigned := make(map[cluster.NodeID]int, len(nodes))
+	out := make([]cluster.NodeID, d.Spec.NumReducers)
+	for r := range out {
+		out[r] = am.pickBiased(nodes, caps, assigned)
+	}
+	return out
+}
+
+func (am *AM) pickBiased(nodes []*cluster.Node, caps map[cluster.NodeID]float64, assigned map[cluster.NodeID]int) cluster.NodeID {
+	// Rejection sampling terminates: at least one node has c=1 (the
+	// fastest), accepted with probability 1. A capacity guard skips
+	// nodes whose reducer count already fills their slots, so reducers
+	// spill into a second wave only when the whole cluster is full.
+	full := func(id cluster.NodeID, slots int) bool { return assigned[id] >= slots }
+	allFull := true
+	for _, n := range nodes {
+		if !full(n.ID, n.Slots) {
+			allFull = false
+			break
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		n := nodes[am.rng.Intn(len(nodes))]
+		if !allFull && full(n.ID, n.Slots) {
+			continue
+		}
+		c := caps[n.ID]
+		if am.rng.Float64() <= c*c {
+			assigned[n.ID]++
+			return n.ID
+		}
+	}
+	assigned[nodes[0].ID]++
+	return nodes[0].ID
+}

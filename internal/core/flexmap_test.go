@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/dfs"
+	"flexmap/internal/engine"
+	"flexmap/internal/mr"
+	"flexmap/internal/randutil"
+	"flexmap/internal/sim"
+	"flexmap/internal/speculate"
+	"flexmap/internal/yarn"
+)
+
+// runFlexMap wires and runs a complete FlexMap job.
+func runFlexMap(t *testing.T, c *cluster.Cluster, fileBUs int64, spec mr.JobSpec, speculation engine.SpeculationPolicy) (*AM, *engine.Driver) {
+	t.Helper()
+	eng := sim.New()
+	store := dfs.NewStore(c, 3, randutil.New(5))
+	if _, err := store.AddFile(spec.InputFile, fileBUs*dfs.BUSize); err != nil {
+		t.Fatal(err)
+	}
+	rm := yarn.NewRM(eng, c)
+	d, err := engine.NewDriver(eng, c, store, rm, engine.DefaultCostModel(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := NewAM(d, randutil.New(5).Split("flexmap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	am.Speculation = speculation
+	rm.Start()
+	eng.RunUntil(1e6)
+	if !d.Finished() {
+		t.Fatal("flexmap job did not finish")
+	}
+	return am, d
+}
+
+func flexSpec(reducers int) mr.JobSpec {
+	return mr.JobSpec{
+		Name: "wc", InputFile: "input", NumReducers: reducers,
+		MapCost: 1, ShuffleRatio: 0.2, ReduceCost: 1,
+	}
+}
+
+func TestFlexMapCoversEveryBUExactlyOnce(t *testing.T) {
+	_, d := runFlexMap(t, cluster.Heterogeneous6(), 256, flexSpec(4), nil)
+	total := 0
+	for _, a := range d.Result.MapAttempts() {
+		total += a.BUs
+	}
+	if total != 256 {
+		t.Fatalf("successful attempts cover %d BUs, want 256", total)
+	}
+}
+
+func TestFlexMapTaskSizesGrow(t *testing.T) {
+	am, _ := runFlexMap(t, cluster.Heterogeneous6(), 512, flexSpec(0), nil)
+	if len(am.SizeTrace) == 0 {
+		t.Fatal("no size trace recorded")
+	}
+	first := am.SizeTrace[0].BUs
+	max := 0
+	for _, s := range am.SizeTrace {
+		if s.BUs > max {
+			max = s.BUs
+		}
+	}
+	if first != 1 {
+		t.Fatalf("first task size = %d BUs, want 1 (all nodes start at one BU)", first)
+	}
+	if max < 4 {
+		t.Fatalf("max task size = %d BUs; vertical scaling never engaged", max)
+	}
+}
+
+func TestFlexMapFastNodesGetBiggerTasks(t *testing.T) {
+	am, d := runFlexMap(t, cluster.Heterogeneous6(), 1024, flexSpec(0), nil)
+	// Mean successful-task size per node, weighted toward the steady state
+	// by skipping each node's first three dispatches.
+	perNode := map[cluster.NodeID][]int{}
+	for _, s := range am.SizeTrace {
+		perNode[s.Node] = append(perNode[s.Node], s.BUs)
+	}
+	meanAfterRamp := func(sizes []int) float64 {
+		if len(sizes) <= 3 {
+			return 0
+		}
+		sum := 0
+		for _, v := range sizes[3:] {
+			sum += v
+		}
+		return float64(sum) / float64(len(sizes)-3)
+	}
+	fast, slow := 0.0, 0.0
+	nFast, nSlow := 0, 0
+	for id, sizes := range perNode {
+		m := meanAfterRamp(sizes)
+		if m == 0 {
+			continue
+		}
+		if d.Cluster.Node(id).BaseSpeed >= 2.0 {
+			fast += m
+			nFast++
+		} else if d.Cluster.Node(id).BaseSpeed == 1.0 {
+			slow += m
+			nSlow++
+		}
+	}
+	if nFast == 0 || nSlow == 0 {
+		t.Skip("no per-class samples")
+	}
+	if fast/float64(nFast) <= slow/float64(nSlow) {
+		t.Fatalf("fast nodes mean task %.1f BUs ≤ slow nodes %.1f — horizontal scaling inactive",
+			fast/float64(nFast), slow/float64(nSlow))
+	}
+}
+
+func TestFlexMapDataProportionalToCapacity(t *testing.T) {
+	_, d := runFlexMap(t, cluster.Heterogeneous6(), 1024, flexSpec(0), nil)
+	bytesPerClass := map[string]int64{}
+	for _, a := range d.Result.MapAttempts() {
+		bytesPerClass[d.Cluster.Node(a.Node).Class] += a.Bytes
+	}
+	// The single T430 (2.8x, 16 slots) must process more data than any
+	// single OPTIPLEX (1.0x, 4 slots).
+	t430 := bytesPerClass["PowerEdge T430"]
+	optPerNode := bytesPerClass["OPTIPLEX 990"] / 3
+	if t430 <= optPerNode {
+		t.Fatalf("fast node processed %d MB ≤ slow node %d MB", t430>>20, optPerNode>>20)
+	}
+}
+
+func TestFlexMapReduceBiasFavorsFastNodes(t *testing.T) {
+	// Strongly skewed cluster: 2 fast, 4 very slow via base speed.
+	c := cluster.NewCluster("skewed", []cluster.NodeSpec{
+		{Name: "f0", BaseSpeed: 3, Slots: 8}, {Name: "f1", BaseSpeed: 3, Slots: 8},
+		{Name: "s0", BaseSpeed: 1, Slots: 8}, {Name: "s1", BaseSpeed: 1, Slots: 8},
+		{Name: "s2", BaseSpeed: 1, Slots: 8}, {Name: "s3", BaseSpeed: 1, Slots: 8},
+	})
+	_, d := runFlexMap(t, c, 512, flexSpec(16), nil)
+	fast, slow := 0, 0
+	for _, a := range d.Result.ReduceAttempts() {
+		if d.Cluster.Node(a.Node).BaseSpeed == 3 {
+			fast++
+		} else {
+			slow++
+		}
+	}
+	if fast+slow != 16 {
+		t.Fatalf("reduce attempts = %d, want 16", fast+slow)
+	}
+	// Fast nodes are 1/3 of the cluster; with c² bias they must receive
+	// clearly more than a third of the reducers.
+	if fast < 7 {
+		t.Fatalf("fast nodes received %d of 16 reducers; bias ineffective", fast)
+	}
+}
+
+func TestFlexMapSpeculationRescuesStragglers(t *testing.T) {
+	// One node collapses to 10% speed after dispatch; with speculation
+	// the job must finish much earlier than without.
+	run := func(spec engine.SpeculationPolicy) sim.Time {
+		eng := sim.New()
+		c := cluster.NewCluster("c", []cluster.NodeSpec{
+			{BaseSpeed: 1, Slots: 2}, {BaseSpeed: 1, Slots: 2},
+			{BaseSpeed: 1, Slots: 2}, {BaseSpeed: 1, Slots: 2},
+		})
+		store := dfs.NewStore(c, 3, randutil.New(5))
+		if _, err := store.AddFile("input", 128*dfs.BUSize); err != nil {
+			t.Fatal(err)
+		}
+		rm := yarn.NewRM(eng, c)
+		d, err := engine.NewDriver(eng, c, store, rm, engine.DefaultCostModel(), flexSpec(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		am, err := NewAM(d, randutil.New(5).Split("flexmap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		am.Speculation = spec
+		// Collapse node 0 mid-job.
+		eng.At(20, "collapse", func() { c.Node(0).SetInterference(0.1) })
+		rm.Start()
+		eng.RunUntil(1e6)
+		if !d.Finished() {
+			t.Fatal("job did not finish")
+		}
+		return d.Result.Finished
+	}
+	with := run(speculate.NewLATE())
+	without := run(nil)
+	if with >= without {
+		t.Fatalf("speculation did not help: with=%v without=%v", with, without)
+	}
+}
+
+func TestFlexMapDeterminism(t *testing.T) {
+	run := func() (sim.Time, int) {
+		_, d := runFlexMap(t, cluster.Heterogeneous6(), 256, flexSpec(4), speculate.NewLATE())
+		return d.Result.Finished, len(d.Result.Attempts)
+	}
+	t1, a1 := run()
+	t2, a2 := run()
+	if t1 != t2 || a1 != a2 {
+		t.Fatalf("non-deterministic: (%v,%d) vs (%v,%d)", t1, a1, t2, a2)
+	}
+}
+
+func TestFlexMapMapsDoneFiresOnce(t *testing.T) {
+	// A panic from double MapsDone would fail this test.
+	_, d := runFlexMap(t, cluster.Homogeneous(3), 64, flexSpec(2), speculate.NewLATE())
+	if !d.MapsFinished() {
+		t.Fatal("maps not finished")
+	}
+}
+
+// Property: the biased picker's acceptance frequencies track c² within
+// statistical tolerance (χ²-style sanity check, not a strict test).
+func TestPropertyBiasedPickerDistribution(t *testing.T) {
+	f := func(seed int64) bool {
+		c := cluster.NewCluster("p", []cluster.NodeSpec{
+			{BaseSpeed: 1, Slots: 100000}, {BaseSpeed: 1, Slots: 100000},
+		})
+		am := &AM{rng: randutil.New(seed), d: nil}
+		caps := map[cluster.NodeID]float64{0: 1.0, 1: 0.5}
+		assigned := map[cluster.NodeID]int{}
+		const draws = 2000
+		for i := 0; i < draws; i++ {
+			am.pickBiased(c.Nodes, caps, assigned)
+		}
+		// Expected ratio  c0²:c1² = 1 : 0.25 → node 0 share = 0.8.
+		share := float64(assigned[0]) / draws
+		return math.Abs(share-0.8) < 0.06
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiasedPickerRespectsCapacityGuard(t *testing.T) {
+	c := cluster.NewCluster("g", []cluster.NodeSpec{
+		{BaseSpeed: 1, Slots: 2}, {BaseSpeed: 1, Slots: 2},
+	})
+	am := &AM{rng: randutil.New(1)}
+	caps := map[cluster.NodeID]float64{0: 1.0, 1: 1.0}
+	assigned := map[cluster.NodeID]int{}
+	for i := 0; i < 4; i++ {
+		am.pickBiased(c.Nodes, caps, assigned)
+	}
+	if assigned[0] != 2 || assigned[1] != 2 {
+		t.Fatalf("capacity guard failed: %v", assigned)
+	}
+	// Fifth pick overflows somewhere without hanging.
+	am.pickBiased(c.Nodes, caps, assigned)
+	if assigned[0]+assigned[1] != 5 {
+		t.Fatalf("overflow pick lost: %v", assigned)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+// Algorithm 1 of the paper: dynamic map task sizing. Every node starts at
+// one block unit. The size unit s_i grows *vertically* from observed task
+// productivity — doubling below FastLimit, adding one BU below
+// LinearLimit, frozen above it — and the dispatched task size m_i grows
+// *horizontally* as s_i × (speed_i / speed_slowest).
+
+// Productivity thresholds from §III-E.
+const (
+	FastLimit   = 0.8
+	LinearLimit = 0.9
+)
+
+// Sizer tracks per-node size units and applies Algorithm 1.
+type Sizer struct {
+	// MaxBUs caps a single task's size; the paper's largest observed task
+	// was 64 BUs = 512 MB.
+	MaxBUs int
+
+	units  map[int]int // node id → s_i in BUs
+	frozen map[int]bool
+}
+
+// NewSizer returns a sizer with every node at one BU.
+func NewSizer() *Sizer {
+	return &Sizer{
+		MaxBUs: 64,
+		units:  make(map[int]int),
+		frozen: make(map[int]bool),
+	}
+}
+
+// SizeUnit returns s_i for a node (≥ 1 BU).
+func (s *Sizer) SizeUnit(node int) int {
+	if u := s.units[node]; u > 0 {
+		return u
+	}
+	return 1
+}
+
+// Frozen reports whether the node's size unit has stopped growing.
+func (s *Sizer) Frozen(node int) bool { return s.frozen[node] }
+
+// ApplyFeedback performs vertical scaling from a completed attempt's
+// productivity. Growth is self-clocking: only attempts launched at (or
+// beyond) the node's *current* size unit count, so a wave of stale
+// smaller tasks completing out of order cannot re-trigger doubling —
+// each growth step requires evidence from the size it produced. This is
+// the paper's once-per-wave rule generalized to nodes with many
+// concurrent containers.
+func (s *Sizer) ApplyFeedback(node, taskBUs int, productivity float64) {
+	if s.frozen[node] || taskBUs < s.SizeUnit(node) {
+		return
+	}
+	u := s.SizeUnit(node)
+	switch {
+	case productivity < FastLimit:
+		u *= 2
+	case productivity < LinearLimit:
+		u++
+	default:
+		s.frozen[node] = true
+		return
+	}
+	if u > s.MaxBUs {
+		u = s.MaxBUs
+	}
+	s.units[node] = u
+}
+
+// TaskSize performs horizontal scaling: m_i = s_i × relSpeed, clamped to
+// [1, MaxBUs]. relSpeed is the node's speed relative to the slowest node.
+func (s *Sizer) TaskSize(node int, relSpeed float64) int {
+	if relSpeed < 1 {
+		relSpeed = 1
+	}
+	m := int(float64(s.SizeUnit(node)) * relSpeed)
+	if m < 1 {
+		m = 1
+	}
+	if m > s.MaxBUs {
+		m = s.MaxBUs
+	}
+	return m
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizerStartsAtOneBU(t *testing.T) {
+	s := NewSizer()
+	if s.SizeUnit(0) != 1 || s.SizeUnit(5) != 1 {
+		t.Fatal("size unit should start at 1 BU on every node")
+	}
+	if s.Frozen(0) {
+		t.Fatal("fresh sizer should not be frozen")
+	}
+}
+
+func TestFastScalingDoubles(t *testing.T) {
+	s := NewSizer()
+	// Productivity below FastLimit doubles the unit at each step.
+	for i, want := range []int{2, 4, 8, 16} {
+		s.ApplyFeedback(0, s.SizeUnit(0), 0.5)
+		if got := s.SizeUnit(0); got != want {
+			t.Fatalf("step %d: unit = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestLinearScalingAddsOneBU(t *testing.T) {
+	s := NewSizer()
+	s.ApplyFeedback(0, 1, 0.85) // FastLimit ≤ p < LinearLimit
+	if s.SizeUnit(0) != 2 {
+		t.Fatalf("unit = %d, want 2", s.SizeUnit(0))
+	}
+	s.ApplyFeedback(0, 2, 0.85)
+	if s.SizeUnit(0) != 3 {
+		t.Fatalf("unit = %d, want 3", s.SizeUnit(0))
+	}
+}
+
+func TestFreezeAboveLinearLimit(t *testing.T) {
+	s := NewSizer()
+	s.ApplyFeedback(0, 1, 0.95)
+	if !s.Frozen(0) {
+		t.Fatal("unit should freeze at productivity ≥ LinearLimit")
+	}
+	if s.SizeUnit(0) != 1 {
+		t.Fatal("freezing should not grow the unit")
+	}
+	// Further feedback is ignored once frozen.
+	s.ApplyFeedback(0, 1, 0.1)
+	if s.SizeUnit(0) != 1 {
+		t.Fatal("frozen unit grew")
+	}
+}
+
+func TestStaleFeedbackIgnored(t *testing.T) {
+	s := NewSizer()
+	s.ApplyFeedback(0, 1, 0.5) // unit → 2
+	// A straggling 1-BU task completing later must not double again.
+	s.ApplyFeedback(0, 1, 0.3)
+	if s.SizeUnit(0) != 2 {
+		t.Fatalf("stale feedback re-triggered growth: unit = %d", s.SizeUnit(0))
+	}
+	// Feedback at (or beyond) the current unit does count.
+	s.ApplyFeedback(0, 2, 0.5)
+	if s.SizeUnit(0) != 4 {
+		t.Fatalf("current-size feedback ignored: unit = %d", s.SizeUnit(0))
+	}
+}
+
+func TestMaxBUsCap(t *testing.T) {
+	s := NewSizer()
+	s.MaxBUs = 16
+	for i := 0; i < 10; i++ {
+		s.ApplyFeedback(0, s.SizeUnit(0), 0.1)
+	}
+	if s.SizeUnit(0) != 16 {
+		t.Fatalf("unit = %d, want capped 16", s.SizeUnit(0))
+	}
+}
+
+func TestNodesIndependent(t *testing.T) {
+	s := NewSizer()
+	s.ApplyFeedback(0, 1, 0.5)
+	s.ApplyFeedback(0, 2, 0.5)
+	if s.SizeUnit(0) != 4 || s.SizeUnit(1) != 1 {
+		t.Fatalf("cross-node interference: units %d/%d", s.SizeUnit(0), s.SizeUnit(1))
+	}
+}
+
+func TestTaskSizeHorizontalScaling(t *testing.T) {
+	s := NewSizer()
+	s.ApplyFeedback(0, 1, 0.5) // unit = 2
+	if got := s.TaskSize(0, 3.0); got != 6 {
+		t.Fatalf("TaskSize(rel=3) = %d, want 6", got)
+	}
+	// Relative speed below 1 clamps to 1 (slowest node defines 1.0).
+	if got := s.TaskSize(0, 0.5); got != 2 {
+		t.Fatalf("TaskSize(rel=0.5) = %d, want 2", got)
+	}
+	// The cap applies after scaling.
+	s.MaxBUs = 5
+	if got := s.TaskSize(0, 10); got != 5 {
+		t.Fatalf("TaskSize capped = %d, want 5", got)
+	}
+}
+
+// Property: the size unit is non-decreasing under any feedback sequence
+// and stays within [1, MaxBUs].
+func TestPropertySizeUnitMonotone(t *testing.T) {
+	f := func(prods []uint8, sizes []uint8) bool {
+		s := NewSizer()
+		prev := s.SizeUnit(0)
+		for i, raw := range prods {
+			p := float64(raw) / 255 // [0,1]
+			taskBUs := 1
+			if len(sizes) > 0 {
+				taskBUs = int(sizes[i%len(sizes)]%64) + 1
+			}
+			s.ApplyFeedback(0, taskBUs, p)
+			cur := s.SizeUnit(0)
+			if cur < prev || cur < 1 || cur > s.MaxBUs {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TaskSize is ≥ the size unit for rel ≥ 1 and never exceeds
+// MaxBUs.
+func TestPropertyTaskSizeBounds(t *testing.T) {
+	f := func(growth uint8, relRaw uint16) bool {
+		s := NewSizer()
+		for i := 0; i < int(growth%10); i++ {
+			s.ApplyFeedback(0, s.SizeUnit(0), 0.5)
+		}
+		rel := 1 + float64(relRaw)/8192 // [1, ~9]
+		got := s.TaskSize(0, rel)
+		return got >= s.SizeUnit(0) && got <= s.MaxBUs || s.SizeUnit(0) > s.MaxBUs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package core implements the paper's contribution: the FlexMap
+// ApplicationMaster with Multi-Block Execution (MBE), Late Task Binding
+// (LTB), heartbeat-driven speed monitoring, the dynamic map-sizing
+// algorithm (Algorithm 1), and capacity-biased reduce scheduling.
+package core
+
+import (
+	"flexmap/internal/cluster"
+	"flexmap/internal/engine"
+	"flexmap/internal/sim"
+)
+
+// HeartbeatPeriod is the paper's container→AM heartbeat interval.
+const HeartbeatPeriod sim.Duration = 5
+
+// ipsWindow is the number of recent IPS reports averaged per node (§III-D:
+// "the average of 5 IPSes reported by containers on the same node").
+const ipsWindow = 5
+
+// SpeedMonitor estimates per-node input processing speed (IPS) from
+// container heartbeats. Each heartbeat round, every running map attempt on
+// a node reports IPS = HDFS_BYTES_READ / (now − taskStart); the node's
+// round sample is their mean, and GetSpeed returns the mean of the last
+// five round samples, smoothing out record-cost skew across containers.
+//
+// Attempt completions also contribute a sample (the attempt's lifetime
+// IPS) so that tasks shorter than the heartbeat period — the 8 MB tasks
+// every node starts with — still inform the estimate.
+type SpeedMonitor struct {
+	driver  *engine.Driver
+	samples map[cluster.NodeID][]float64 // ring of recent round samples
+	ticker  *sim.Ticker
+}
+
+// NewSpeedMonitor attaches a monitor to the driver's cluster and starts
+// the heartbeat ticker.
+func NewSpeedMonitor(d *engine.Driver) *SpeedMonitor {
+	m := &SpeedMonitor{
+		driver:  d,
+		samples: make(map[cluster.NodeID][]float64, d.Cluster.Size()),
+	}
+	m.ticker = sim.NewTicker(d.Eng, HeartbeatPeriod, "heartbeat", m.round)
+	d.OnFinished(m.Stop)
+	return m
+}
+
+// Stop halts the heartbeat ticker.
+func (m *SpeedMonitor) Stop() { m.ticker.Stop() }
+
+// round collects one heartbeat round of IPS reports.
+func (m *SpeedMonitor) round(now sim.Time) {
+	for _, n := range m.driver.Cluster.Nodes {
+		attempts := m.driver.RunningMapsOn(n.ID)
+		if len(attempts) == 0 {
+			continue
+		}
+		var sum float64
+		reports := 0
+		for _, a := range attempts {
+			elapsed := float64(now - a.Start)
+			if elapsed <= 0 {
+				continue
+			}
+			sum += float64(a.ProcessedBytes(now)) / elapsed
+			reports++
+		}
+		if reports > 0 {
+			m.push(n.ID, sum/float64(reports))
+		}
+	}
+}
+
+// ReportCompletion feeds an attempt's lifetime IPS into the estimate.
+func (m *SpeedMonitor) ReportCompletion(a *engine.MapAttempt) {
+	runtime := float64(m.driver.Eng.Now() - a.Start)
+	if runtime <= 0 {
+		return
+	}
+	m.push(a.Node.ID, float64(a.Bytes)/runtime)
+}
+
+func (m *SpeedMonitor) push(id cluster.NodeID, ips float64) {
+	s := append(m.samples[id], ips)
+	if len(s) > ipsWindow {
+		s = s[len(s)-ipsWindow:]
+	}
+	m.samples[id] = s
+}
+
+// GetSpeed returns the node's estimated IPS in bytes/second, or 0 when no
+// report has arrived yet.
+func (m *SpeedMonitor) GetSpeed(id cluster.NodeID) float64 {
+	s := m.samples[id]
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// RelativeSpeeds returns each node's speed normalized to the slowest node
+// with a measurement (≥1 for all measured nodes). Nodes without
+// measurements report 1.0 — indistinguishable from the slowest, which is
+// exactly the paper's conservative starting assumption.
+func (m *SpeedMonitor) RelativeSpeeds() map[cluster.NodeID]float64 {
+	slowest := 0.0
+	for _, n := range m.driver.Cluster.Nodes {
+		if s := m.GetSpeed(n.ID); s > 0 && (slowest == 0 || s < slowest) {
+			slowest = s
+		}
+	}
+	out := make(map[cluster.NodeID]float64, m.driver.Cluster.Size())
+	for _, n := range m.driver.Cluster.Nodes {
+		s := m.GetSpeed(n.ID)
+		if s <= 0 || slowest <= 0 {
+			out[n.ID] = 1.0
+			continue
+		}
+		out[n.ID] = s / slowest
+	}
+	return out
+}
+
+// NormalizedCapacities returns each node's capacity c_i normalized to the
+// fastest measured node (c ∈ (0,1]), the quantity the biased reduce
+// dispatcher squares. Unmeasured nodes get 1.0.
+func (m *SpeedMonitor) NormalizedCapacities() map[cluster.NodeID]float64 {
+	fastest := 0.0
+	for _, n := range m.driver.Cluster.Nodes {
+		if s := m.GetSpeed(n.ID); s > fastest {
+			fastest = s
+		}
+	}
+	out := make(map[cluster.NodeID]float64, m.driver.Cluster.Size())
+	for _, n := range m.driver.Cluster.Nodes {
+		s := m.GetSpeed(n.ID)
+		if s <= 0 || fastest <= 0 {
+			out[n.ID] = 1.0
+			continue
+		}
+		out[n.ID] = s / fastest
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWikipediaShape(t *testing.T) {
+	data := Wikipedia(1<<16, 1)
+	if len(data) != 1<<16 {
+		t.Fatalf("size = %d, want %d", len(data), 1<<16)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatal("too few documents")
+	}
+	for i, line := range lines[:len(lines)-1] { // last line may be truncated
+		tab := strings.IndexByte(line, '\t')
+		if tab < 0 {
+			t.Fatalf("line %d has no doc separator: %q", i, line)
+		}
+		if !strings.HasPrefix(line, "doc-") {
+			t.Fatalf("line %d has no doc id: %q", i, line)
+		}
+		if len(strings.Fields(line[tab+1:])) == 0 {
+			t.Fatalf("line %d has no words", i)
+		}
+	}
+}
+
+func TestWikipediaWordSkew(t *testing.T) {
+	data := Wikipedia(1<<18, 2)
+	counts := map[string]int{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			for _, w := range strings.Fields(line[i+1:]) {
+				counts[w]++
+			}
+		}
+	}
+	// The first vocabulary word ("the") must dominate a tail word.
+	if counts["the"] <= counts["system"] {
+		t.Fatalf("no frequency skew: the=%d system=%d", counts["the"], counts["system"])
+	}
+}
+
+func TestNetflixShape(t *testing.T) {
+	data := Netflix(1<<15, 3)
+	if len(data) != 1<<15 {
+		t.Fatalf("size = %d", len(data))
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	for i, line := range lines[:len(lines)-1] {
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			t.Fatalf("line %d has %d fields: %q", i, len(parts), line)
+		}
+		if parts[2] < "1" || parts[2] > "5" || len(parts[2]) != 1 {
+			t.Fatalf("line %d rating out of range: %q", i, parts[2])
+		}
+	}
+}
+
+func TestTeraGenShape(t *testing.T) {
+	data := TeraGen(1000, 4)
+	if len(data)%TeraRecordSize != 0 {
+		t.Fatalf("size %d not a multiple of record size", len(data))
+	}
+	recs := bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n"))
+	for i, rec := range recs {
+		if len(rec) != TeraRecordSize-1 {
+			t.Fatalf("record %d has length %d", i, len(rec))
+		}
+		if rec[10] != '\t' {
+			t.Fatalf("record %d key separator missing", i)
+		}
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	for name, gen := range map[string]func(int, int64) []byte{
+		"wikipedia": Wikipedia, "netflix": Netflix, "teragen": TeraGen,
+	} {
+		a, b := gen(4096, 7), gen(4096, 7)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: same seed produced different data", name)
+		}
+		c := gen(4096, 8)
+		if bytes.Equal(a, c) {
+			t.Errorf("%s: different seeds produced identical data", name)
+		}
+	}
+}
+
+// Property: generators honor the requested size (exactly for text
+// generators, rounded to whole records for TeraGen).
+func TestPropertySizes(t *testing.T) {
+	f := func(raw uint16, seed int64) bool {
+		size := int(raw%8192) + 256
+		if len(Wikipedia(size, seed)) != size {
+			return false
+		}
+		if len(Netflix(size, seed)) != size {
+			return false
+		}
+		tg := TeraGen(size, seed)
+		want := size / TeraRecordSize
+		if want < 1 {
+			want = 1
+		}
+		return len(tg) == want*TeraRecordSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,307 @@
+// Package dfs implements an HDFS-like distributed block store at the
+// granularity FlexMap needs: files are sequences of 8 MB block units
+// (BUs), each replicated on R distinct nodes. Consecutive BUs are placed
+// in co-located groups so that classic 64 MB / 128 MB Hadoop splits remain
+// node-local, while FlexMap can still compose splits BU by BU.
+//
+// The package also provides the NodeToBlock / BlockToNode locality indices
+// the paper's Late Task Binding maintains, as a Tracker that hands out
+// unprocessed BUs with mutual exclusion.
+package dfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/randutil"
+)
+
+// BUSize is the size of one block unit: 8 MB, the paper's basic unit of
+// task-size change.
+const BUSize int64 = 8 * 1024 * 1024
+
+// DefaultReplication is HDFS's default replication factor.
+const DefaultReplication = 3
+
+// GroupBUs is the number of consecutive BUs placed on the same replica
+// set (16 BUs = 128 MB, so both 64 MB and 128 MB splits are co-located).
+const GroupBUs = 16
+
+// BUID identifies one block unit globally within a Store.
+type BUID int
+
+// BU is one stored block unit.
+type BU struct {
+	ID    BUID
+	File  string
+	Index int   // position within the file
+	Size  int64 // ≤ BUSize; the final BU of a file may be short
+}
+
+// File is a stored file: an ordered list of BUs.
+type File struct {
+	Name string
+	Size int64
+	BUs  []BUID
+}
+
+// Store is the cluster-wide block store.
+type Store struct {
+	cluster     *cluster.Cluster
+	replication int
+	rng         *randutil.Source
+
+	files  map[string]*File
+	blocks []BU // indexed by BUID
+
+	blockToNode map[BUID][]cluster.NodeID
+	nodeToBlock map[cluster.NodeID]map[BUID]bool
+	nodeLoad    map[cluster.NodeID]int // BUs stored per node, for balancing
+
+	content map[BUID][]byte  // optional real payloads for live execution
+	weights map[BUID]float64 // optional per-BU processing-cost weights (data skew)
+}
+
+// NewStore creates an empty store over the given cluster. replication 0
+// means DefaultReplication; it is capped at the cluster size.
+func NewStore(c *cluster.Cluster, replication int, rng *randutil.Source) *Store {
+	if replication <= 0 {
+		replication = DefaultReplication
+	}
+	if replication > c.Size() {
+		replication = c.Size()
+	}
+	s := &Store{
+		cluster:     c,
+		replication: replication,
+		rng:         rng,
+		files:       make(map[string]*File),
+		blockToNode: make(map[BUID][]cluster.NodeID),
+		nodeToBlock: make(map[cluster.NodeID]map[BUID]bool),
+		nodeLoad:    make(map[cluster.NodeID]int),
+		content:     make(map[BUID][]byte),
+	}
+	for _, n := range c.Nodes {
+		s.nodeToBlock[n.ID] = make(map[BUID]bool)
+	}
+	return s
+}
+
+// Replication returns the effective replication factor.
+func (s *Store) Replication() int { return s.replication }
+
+// Cluster returns the cluster this store spans.
+func (s *Store) Cluster() *cluster.Cluster { return s.cluster }
+
+// AddFile stores a modeled file of the given size: BU metadata and
+// placement are created, but no payload bytes.
+func (s *Store) AddFile(name string, size int64) (*File, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("dfs: file %q has non-positive size %d", name, size)
+	}
+	return s.addFile(name, size, nil)
+}
+
+// AddFileWithData stores a real file: the payload is split into BUs and
+// retained so map functions can process actual bytes.
+func (s *Store) AddFileWithData(name string, data []byte) (*File, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("dfs: file %q is empty", name)
+	}
+	return s.addFile(name, int64(len(data)), data)
+}
+
+func (s *Store) addFile(name string, size int64, data []byte) (*File, error) {
+	if _, ok := s.files[name]; ok {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	f := &File{Name: name, Size: size}
+	numBUs := int((size + BUSize - 1) / BUSize)
+
+	var group []cluster.NodeID
+	for i := 0; i < numBUs; i++ {
+		if i%GroupBUs == 0 {
+			group = s.pickReplicaNodes()
+		}
+		buSize := BUSize
+		if rem := size - int64(i)*BUSize; rem < buSize {
+			buSize = rem
+		}
+		id := BUID(len(s.blocks))
+		s.blocks = append(s.blocks, BU{ID: id, File: name, Index: i, Size: buSize})
+		f.BUs = append(f.BUs, id)
+
+		replicas := make([]cluster.NodeID, len(group))
+		copy(replicas, group)
+		s.blockToNode[id] = replicas
+		for _, nid := range replicas {
+			s.nodeToBlock[nid][id] = true
+			s.nodeLoad[nid]++
+		}
+		if data != nil {
+			lo := int64(i) * BUSize
+			s.content[id] = data[lo : lo+buSize]
+		}
+	}
+	s.files[name] = f
+	return f, nil
+}
+
+// pickReplicaNodes chooses `replication` distinct nodes, preferring nodes
+// storing the fewest BUs (ties broken pseudo-randomly) so placement stays
+// balanced, as HDFS's balancer would keep it.
+func (s *Store) pickReplicaNodes() []cluster.NodeID {
+	type cand struct {
+		id   cluster.NodeID
+		load int
+		tie  int64
+	}
+	cands := make([]cand, 0, s.cluster.Size())
+	for _, n := range s.cluster.Nodes {
+		cands = append(cands, cand{n.ID, s.nodeLoad[n.ID], s.rng.Int63()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		return cands[i].tie < cands[j].tie
+	})
+	out := make([]cluster.NodeID, s.replication)
+	for i := range out {
+		out[i] = cands[i].id
+	}
+	return out
+}
+
+// File returns a stored file by name.
+func (s *Store) File(name string) (*File, bool) {
+	f, ok := s.files[name]
+	return f, ok
+}
+
+// Block returns BU metadata. Unknown IDs panic — BUIDs are dense indices
+// issued by this store.
+func (s *Store) Block(id BUID) BU {
+	if int(id) < 0 || int(id) >= len(s.blocks) {
+		panic(fmt.Sprintf("dfs: unknown BU %d", id))
+	}
+	return s.blocks[id]
+}
+
+// Content returns the real payload of a BU, or nil for modeled files.
+func (s *Store) Content(id BUID) []byte { return s.content[id] }
+
+// Weight returns the BU's processing-cost weight (1.0 = uniform data).
+func (s *Store) Weight(id BUID) float64 {
+	if w, ok := s.weights[id]; ok {
+		return w
+	}
+	return 1.0
+}
+
+// ApplySkew assigns every stored BU a lognormal processing-cost weight
+// with the given sigma, normalized to mean 1 so total work is unchanged —
+// some records are simply much more expensive to process than others
+// (the computational skew SkewTune targets). Call after adding files.
+func (s *Store) ApplySkew(rng *randutil.Source, sigma float64) {
+	if sigma <= 0 {
+		return
+	}
+	if s.weights == nil {
+		s.weights = make(map[BUID]float64, len(s.blocks))
+	}
+	for _, bu := range s.blocks {
+		s.weights[bu.ID] = math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+	}
+}
+
+// MeanWeight returns the mean cost weight over a set of BUs.
+func (s *Store) MeanWeight(bus []BUID) float64 {
+	if len(bus) == 0 {
+		return 1.0
+	}
+	sum := 0.0
+	for _, id := range bus {
+		sum += s.Weight(id)
+	}
+	return sum / float64(len(bus))
+}
+
+// NodesFor returns the nodes holding replicas of a BU.
+func (s *Store) NodesFor(id BUID) []cluster.NodeID {
+	return s.blockToNode[id]
+}
+
+// HasReplica reports whether node holds a replica of the BU.
+func (s *Store) HasReplica(node cluster.NodeID, id BUID) bool {
+	return s.nodeToBlock[node][id]
+}
+
+// BUCountOn returns the number of BUs stored on a node.
+func (s *Store) BUCountOn(node cluster.NodeID) int { return s.nodeLoad[node] }
+
+// Split is a contiguous run of BUs handed to one classic map task.
+type Split struct {
+	File  string
+	Index int // split index within the file
+	BUs   []BUID
+	Size  int64
+	// Hosts are nodes holding all BUs of the split (replica intersection).
+	Hosts []cluster.NodeID
+}
+
+// Splits partitions a file into classic fixed-size splits of sizeBUs block
+// units each (8 → 64 MB splits, 16 → 128 MB). sizeBUs must be positive and
+// must divide GroupBUs or be a multiple of it so splits never straddle
+// placement groups with differing replica sets.
+func (s *Store) Splits(name string, sizeBUs int) ([]Split, error) {
+	f, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", name)
+	}
+	if sizeBUs <= 0 {
+		return nil, fmt.Errorf("dfs: split size %d BUs must be positive", sizeBUs)
+	}
+	if sizeBUs < GroupBUs && GroupBUs%sizeBUs != 0 {
+		return nil, fmt.Errorf("dfs: split size %d BUs does not divide placement group %d", sizeBUs, GroupBUs)
+	}
+	if sizeBUs > GroupBUs && sizeBUs%GroupBUs != 0 {
+		return nil, fmt.Errorf("dfs: split size %d BUs is not a multiple of placement group %d", sizeBUs, GroupBUs)
+	}
+	var out []Split
+	for lo := 0; lo < len(f.BUs); lo += sizeBUs {
+		hi := lo + sizeBUs
+		if hi > len(f.BUs) {
+			hi = len(f.BUs)
+		}
+		sp := Split{File: name, Index: len(out), BUs: f.BUs[lo:hi]}
+		for _, id := range sp.BUs {
+			sp.Size += s.blocks[id].Size
+		}
+		sp.Hosts = s.replicaIntersection(sp.BUs)
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+func (s *Store) replicaIntersection(bus []BUID) []cluster.NodeID {
+	if len(bus) == 0 {
+		return nil
+	}
+	counts := map[cluster.NodeID]int{}
+	for _, id := range bus {
+		for _, nid := range s.blockToNode[id] {
+			counts[nid]++
+		}
+	}
+	var hosts []cluster.NodeID
+	for nid, c := range counts {
+		if c == len(bus) {
+			hosts = append(hosts, nid)
+		}
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	return hosts
+}

@@ -1,0 +1,128 @@
+package dfs
+
+import (
+	"sort"
+
+	"flexmap/internal/cluster"
+)
+
+// Tracker implements the paper's Late Task Binding bookkeeping: the
+// NodeToBlock and BlockToNode hash maps over a job's *unprocessed* BUs.
+// Take removes BUs with mutual exclusion, guaranteeing each BU is handed
+// to exactly one map task.
+//
+// The simulation is single-goroutine (event-driven), so no locking is
+// needed; exclusivity is enforced by removing a BU from every index the
+// moment it is taken.
+type Tracker struct {
+	store       *Store
+	nodeToBlock map[cluster.NodeID]map[BUID]bool
+	remaining   map[BUID]bool
+	total       int
+}
+
+// NewTracker indexes all BUs of a file for late binding.
+func NewTracker(store *Store, file string) (*Tracker, error) {
+	f, ok := store.File(file)
+	if !ok {
+		return nil, errNoFile(file)
+	}
+	t := &Tracker{
+		store:       store,
+		nodeToBlock: make(map[cluster.NodeID]map[BUID]bool),
+		remaining:   make(map[BUID]bool, len(f.BUs)),
+		total:       len(f.BUs),
+	}
+	for _, id := range f.BUs {
+		t.remaining[id] = true
+		for _, nid := range store.NodesFor(id) {
+			m := t.nodeToBlock[nid]
+			if m == nil {
+				m = make(map[BUID]bool)
+				t.nodeToBlock[nid] = m
+			}
+			m[id] = true
+		}
+	}
+	return t, nil
+}
+
+type errNoFile string
+
+func (e errNoFile) Error() string { return "dfs: no such file " + string(e) }
+
+// Remaining returns the number of unprocessed BUs.
+func (t *Tracker) Remaining() int { return len(t.remaining) }
+
+// Total returns the number of BUs the tracker started with.
+func (t *Tracker) Total() int { return t.total }
+
+// LocalCount returns the number of unprocessed BUs with a replica on node.
+func (t *Tracker) LocalCount(node cluster.NodeID) int {
+	return len(t.nodeToBlock[node])
+}
+
+// take removes one BU from every index.
+func (t *Tracker) take(id BUID) {
+	delete(t.remaining, id)
+	for _, nid := range t.store.NodesFor(id) {
+		delete(t.nodeToBlock[nid], id)
+	}
+}
+
+// TakeLocal removes and returns up to n unprocessed BUs that have replicas
+// on node, in deterministic (ascending BUID) order.
+func (t *Tracker) TakeLocal(node cluster.NodeID, n int) []BUID {
+	local := t.nodeToBlock[node]
+	if len(local) == 0 || n <= 0 {
+		return nil
+	}
+	ids := make([]BUID, 0, len(local))
+	for id := range local {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	for _, id := range ids {
+		t.take(id)
+	}
+	return ids
+}
+
+// TakeRemote removes and returns up to n unprocessed BUs following the
+// paper's heuristic: prefer BUs stored on the node that currently has the
+// most unprocessed BUs (spreading the remote-read burden to data-rich
+// nodes). Ties break on lowest node ID for determinism.
+func (t *Tracker) TakeRemote(n int) []BUID {
+	var out []BUID
+	for len(out) < n && len(t.remaining) > 0 {
+		richest := cluster.NodeID(-1)
+		best := -1
+		for nid, m := range t.nodeToBlock {
+			if len(m) > best || (len(m) == best && (richest < 0 || nid < richest)) {
+				best, richest = len(m), nid
+			}
+		}
+		if best <= 0 {
+			break
+		}
+		got := t.TakeLocal(richest, n-len(out))
+		out = append(out, got...)
+	}
+	return out
+}
+
+// Take builds an n-BU input split for a container on node: local BUs
+// first, then remote BUs via the richest-node heuristic, exactly as LTB
+// constructs elastic map inputs. The returned localBUs ⊆ bus were local to
+// the node at take time.
+func (t *Tracker) Take(node cluster.NodeID, n int) (bus []BUID, local int) {
+	bus = t.TakeLocal(node, n)
+	local = len(bus)
+	if len(bus) < n {
+		bus = append(bus, t.TakeRemote(n-len(bus))...)
+	}
+	return bus, local
+}

@@ -1,0 +1,69 @@
+// Package engine implements the MapReduce execution machinery shared by
+// every ApplicationMaster in this repository: the calibrated task cost
+// model, dynamic-speed work execution, map-attempt lifecycle, shuffle
+// accounting, the reduce phase, and the stock Hadoop AM.
+package engine
+
+import (
+	"flexmap/internal/sim"
+)
+
+// MB is one megabyte in bytes.
+const MB int64 = 1024 * 1024
+
+// CostModel holds the calibrated execution-cost constants. Defaults are
+// chosen so an 8 MB map task on a speed-1.0 node has productivity ≈ 0.28
+// and a 64 MB task ≈ 0.76, matching Fig. 3(b,c) of the paper.
+type CostModel struct {
+	// ContainerAlloc is the YARN container allocation latency.
+	ContainerAlloc sim.Duration
+	// JVMStartup is the task JVM spin-up time.
+	JVMStartup sim.Duration
+	// BaseIPS is the input processing speed, in bytes/second, of a
+	// speed-1.0 node running a MapCost-1.0 job.
+	BaseIPS float64
+	// SpillFactor is the extra fractional map cost per GB of task input,
+	// modeling Hadoop's multi-round sort-spill-merge for inputs beyond
+	// the in-memory sort buffer (io.sort.mb): a 512 MB task costs ~15%
+	// more per byte than a tiny one. It makes task growth saturate
+	// instead of rewarding unbounded sizes.
+	SpillFactor float64
+}
+
+// DefaultCostModel returns the calibrated defaults.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ContainerAlloc: 0.5,
+		JVMStartup:     1.5,
+		BaseIPS:        float64(10 * MB),
+		SpillFactor:    0.3,
+	}
+}
+
+// gb is one gigabyte in bytes, as a float for rate math.
+const gb = float64(1024 * MB)
+
+// SpillMultiplier returns the per-byte cost multiplier for a task of the
+// given input size.
+func (c CostModel) SpillMultiplier(bytes int64) float64 {
+	return 1 + c.SpillFactor*float64(bytes)/gb
+}
+
+// Overhead returns the fixed per-attempt execution overhead (the
+// non-effective part of a task's runtime in Eq. 1).
+func (c CostModel) Overhead() sim.Duration {
+	return c.ContainerAlloc + c.JVMStartup
+}
+
+// MapEffective returns the effective (compute-only) duration for mapping
+// `bytes` input bytes at the given cost multiplier on a node running at
+// `speed`, excluding any remote-fetch time.
+func (c CostModel) MapEffective(bytes int64, mapCost, speed float64) sim.Duration {
+	return sim.Duration(float64(bytes) * mapCost * c.SpillMultiplier(bytes) / (c.BaseIPS * speed))
+}
+
+// Productivity predicts Eq. 1 for a map of `bytes` at constant speed.
+func (c CostModel) Productivity(bytes int64, mapCost, speed float64) float64 {
+	eff := c.MapEffective(bytes, mapCost, speed)
+	return float64(eff) / float64(eff+c.Overhead())
+}

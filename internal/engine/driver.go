@@ -1,0 +1,434 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/dfs"
+	"flexmap/internal/mr"
+	"flexmap/internal/randutil"
+	"flexmap/internal/sim"
+	"flexmap/internal/yarn"
+)
+
+// ReducePlacer decides which node runs each reduce task. It returns a
+// slice of length Spec.NumReducers. EvenReducePlacer is the stock policy;
+// the FlexMap AM installs its capacity-biased policy.
+type ReducePlacer func(d *Driver) []cluster.NodeID
+
+// Driver owns the shared execution machinery for one job run: attempt
+// lifecycle, shuffle bookkeeping, the reduce phase, live (real-data)
+// execution, and the final JobResult. ApplicationMasters sit on top and
+// make scheduling decisions only.
+type Driver struct {
+	Eng     *sim.Engine
+	Cluster *cluster.Cluster
+	Store   *dfs.Store
+	RM      *yarn.RM
+	Cost    CostModel
+	Spec    mr.JobSpec
+	Exec    *Executor
+
+	// ReducePlacer defaults to EvenReducePlacer.
+	ReducePlacer ReducePlacer
+
+	// Noise, when non-nil, draws a lognormal per-attempt compute-cost
+	// multiplier with sigma NoiseSigma, modeling the runtime variance real
+	// map tasks show from disk contention, page-cache state and record
+	// skew (the spread visible in the paper's Fig. 1 histograms). Nil
+	// disables noise (unit-test determinism at exact timestamps).
+	Noise      *randutil.Source
+	NoiseSigma float64
+
+	Result *mr.JobResult
+
+	running     map[cluster.NodeID]map[*MapAttempt]bool
+	interByNode map[cluster.NodeID]int64
+	totalInter  int64
+	partitions  []map[string][]string // live intermediate data per reducer
+
+	mapPhaseStarted bool
+	mapsFinished    bool
+	reduceRemaining int
+	reduceQueues    map[cluster.NodeID][]int
+	finished        bool
+	onFinished      []func()
+}
+
+// OnFinished registers a hook invoked when the job fully completes —
+// typically to stop heartbeat and interference tickers so the event queue
+// drains.
+func (d *Driver) OnFinished(fn func()) { d.onFinished = append(d.onFinished, fn) }
+
+// NewDriver assembles a driver for one run. The spec must validate and
+// its input file must already exist in the store.
+func NewDriver(eng *sim.Engine, c *cluster.Cluster, store *dfs.Store, rm *yarn.RM, cost CostModel, spec mr.JobSpec) (*Driver, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := store.File(spec.InputFile); !ok {
+		return nil, fmt.Errorf("engine: input file %q not in DFS", spec.InputFile)
+	}
+	d := &Driver{
+		Eng:          eng,
+		Cluster:      c,
+		Store:        store,
+		RM:           rm,
+		Cost:         cost,
+		Spec:         spec,
+		Exec:         NewExecutor(eng, c, cost.BaseIPS),
+		ReducePlacer: EvenReducePlacer,
+		Result: &mr.JobResult{
+			Job:                 spec.Name,
+			Cluster:             c.Name,
+			Submitted:           eng.Now(),
+			AvailableContainers: c.TotalSlots(),
+		},
+		running:     make(map[cluster.NodeID]map[*MapAttempt]bool),
+		interByNode: make(map[cluster.NodeID]int64),
+	}
+	for _, n := range c.Nodes {
+		d.running[n.ID] = make(map[*MapAttempt]bool)
+	}
+	if spec.NumReducers > 0 {
+		d.partitions = make([]map[string][]string, spec.NumReducers)
+		for i := range d.partitions {
+			d.partitions[i] = make(map[string][]string)
+		}
+	}
+	return d, nil
+}
+
+// attemptPhase tracks where a map attempt is in its lifecycle.
+type attemptPhase int
+
+const (
+	phaseOverhead attemptPhase = iota
+	phaseFetch
+	phaseCompute
+	phaseDone
+)
+
+// MapAttempt is one execution attempt of a map task.
+type MapAttempt struct {
+	Task        string
+	Node        *cluster.Node
+	Container   *yarn.Container
+	BUs         []dfs.BUID
+	LocalBUs    int
+	Bytes       int64
+	RemoteBytes int64
+	Wave        int
+	Speculative bool
+	Start       sim.Time
+
+	d           *Driver
+	noiseMult   float64
+	phase       attemptPhase
+	phaseEndsAt sim.Time
+	phaseEv     *sim.Event
+	work        *Work
+	fetchDur    sim.Duration
+	computeAt   sim.Time
+	killed      bool
+	onDone      func(*MapAttempt)
+}
+
+// MapLaunch parameterizes Driver.LaunchMap.
+type MapLaunch struct {
+	Task        string
+	Node        *cluster.Node
+	Container   *yarn.Container
+	BUs         []dfs.BUID
+	LocalBUs    int
+	Wave        int
+	Speculative bool
+	// ExtraFetchBytes models additional input movement beyond non-local
+	// replica reads (SkewTune repartitioning charges moved bytes here).
+	ExtraFetchBytes int64
+	// OnDone fires when the attempt completes successfully. The AM is
+	// responsible for releasing the container.
+	OnDone func(*MapAttempt)
+}
+
+// LaunchMap starts a map attempt: fixed overhead, then remote fetch, then
+// speed-dependent compute.
+func (d *Driver) LaunchMap(l MapLaunch) *MapAttempt {
+	if len(l.BUs) == 0 {
+		panic("engine: LaunchMap with empty split")
+	}
+	a := &MapAttempt{
+		Task:        l.Task,
+		Node:        l.Node,
+		Container:   l.Container,
+		BUs:         l.BUs,
+		LocalBUs:    l.LocalBUs,
+		Wave:        l.Wave,
+		Speculative: l.Speculative,
+		Start:       d.Eng.Now(),
+		d:           d,
+		noiseMult:   d.drawNoise(),
+		onDone:      l.OnDone,
+	}
+	remote := l.ExtraFetchBytes
+	for i, id := range l.BUs {
+		size := d.Store.Block(id).Size
+		a.Bytes += size
+		if i >= l.LocalBUs {
+			remote += size
+		}
+	}
+	a.RemoteBytes = remote
+	if l.Speculative {
+		d.Result.SpeculativeLaunches++
+	}
+	d.Result.RemoteBytesRead += remote
+	if !d.mapPhaseStarted {
+		d.mapPhaseStarted = true
+		d.Result.MapPhaseStart = d.Eng.Now()
+	}
+	d.running[l.Node.ID][a] = true
+
+	a.fetchDur = sim.Duration(float64(remote) / (d.Cluster.NetBW * float64(MB)))
+	a.phase = phaseOverhead
+	a.phaseEndsAt = d.Eng.Now() + sim.Time(d.Cost.Overhead())
+	a.phaseEv = d.Eng.After(d.Cost.Overhead(), "map-overhead", func() { a.beginFetch() })
+	return a
+}
+
+func (a *MapAttempt) beginFetch() {
+	a.phase = phaseFetch
+	a.phaseEndsAt = a.d.Eng.Now() + sim.Time(a.fetchDur)
+	a.phaseEv = a.d.Eng.After(a.fetchDur, "map-fetch", func() { a.beginCompute() })
+}
+
+func (a *MapAttempt) beginCompute() {
+	a.phase = phaseCompute
+	a.computeAt = a.d.Eng.Now()
+	units := float64(a.Bytes) * a.unitCost()
+	a.work = a.d.Exec.Start(a.Node, units, func() { a.complete() })
+}
+
+// unitCost is the work units charged per input byte for this attempt:
+// job map cost × sort-spill penalty × runtime noise × the split's data
+// skew weight (the mean cost weight of its BUs).
+func (a *MapAttempt) unitCost() float64 {
+	return a.d.Spec.MapCost * a.d.Cost.SpillMultiplier(a.Bytes) * a.noiseMult *
+		a.d.Store.MeanWeight(a.BUs)
+}
+
+// drawNoise samples the per-attempt lognormal cost multiplier (1.0 when
+// noise is disabled). The multiplier is normalized by exp(σ²/2) so its
+// mean is 1 and noise does not change expected cluster throughput.
+func (d *Driver) drawNoise() float64 {
+	if d.Noise == nil || d.NoiseSigma <= 0 {
+		return 1.0
+	}
+	return math.Exp(d.NoiseSigma*d.Noise.NormFloat64() - d.NoiseSigma*d.NoiseSigma/2)
+}
+
+func (a *MapAttempt) complete() {
+	a.phase = phaseDone
+	now := a.d.Eng.Now()
+	delete(a.d.running[a.Node.ID], a)
+	a.d.Result.Attempts = append(a.d.Result.Attempts, mr.AttemptRecord{
+		Task:        a.Task,
+		Type:        mr.MapTask,
+		Node:        a.Node.ID,
+		Start:       a.Start,
+		End:         now,
+		Overhead:    a.d.Cost.Overhead(),
+		Effective:   a.fetchDur + sim.Duration(now-a.computeAt),
+		Bytes:       a.Bytes,
+		BUs:         len(a.BUs),
+		LocalBUs:    a.LocalBUs,
+		Wave:        a.Wave,
+		Speculative: a.Speculative,
+	})
+	a.onDone(a)
+}
+
+// CommitOutput publishes the attempt's intermediate output for shuffling
+// and runs the live mapper if one is attached. AMs call it exactly once
+// per *task* (the winning attempt), never for losers of a speculation
+// race — duplicated output would double shuffle volume.
+func (d *Driver) CommitOutput(a *MapAttempt) {
+	d.CommitOutputForBUs(a.Node.ID, a.BUs)
+}
+
+// CommitOutputForBUs publishes intermediate output for a set of BUs
+// mapped on a node. SkewTune uses it directly to preserve the processed
+// prefix of a stopped straggler.
+func (d *Driver) CommitOutputForBUs(node cluster.NodeID, bus []dfs.BUID) {
+	var bytes int64
+	for _, id := range bus {
+		bytes += d.Store.Block(id).Size
+	}
+	inter := int64(float64(bytes) * d.Spec.ShuffleRatio)
+	d.interByNode[node] += inter
+	d.totalInter += inter
+	if d.Spec.Mapper == nil {
+		return
+	}
+	emit := d.liveEmit()
+	for _, id := range bus {
+		if content := d.Store.Content(id); content != nil {
+			d.Spec.Mapper(content, emit)
+		}
+	}
+}
+
+// RecordAttempt appends a synthetic attempt record (SkewTune's preserved
+// prefix of a stopped straggler) so that successful records still cover
+// every BU exactly once.
+func (d *Driver) RecordAttempt(rec mr.AttemptRecord) {
+	d.Result.Attempts = append(d.Result.Attempts, rec)
+}
+
+// liveEmit returns an emit function that partitions pairs by key hash.
+func (d *Driver) liveEmit() func(k, v string) {
+	return func(k, v string) {
+		if d.Spec.NumReducers == 0 {
+			if d.Result.Output == nil {
+				d.Result.Output = make(map[string]string)
+			}
+			d.Result.Output[k] = v
+			return
+		}
+		p := partitionOf(k, d.Spec.NumReducers)
+		d.partitions[p][k] = append(d.partitions[p][k], v)
+	}
+}
+
+func partitionOf(key string, r int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(r))
+}
+
+// Kill stops a running attempt (speculation race loss or SkewTune
+// repartition). It records a killed AttemptRecord and reports false if the
+// attempt had already finished or been killed. The caller releases the
+// container.
+func (a *MapAttempt) Kill() bool {
+	if a.phase == phaseDone || a.killed {
+		return false
+	}
+	a.killed = true
+	now := a.d.Eng.Now()
+	if a.phaseEv != nil {
+		a.d.Eng.Cancel(a.phaseEv)
+	}
+	var effective sim.Duration
+	if a.phase == phaseCompute {
+		a.d.Exec.Cancel(a.work)
+		effective = a.fetchDur + sim.Duration(now-a.computeAt)
+	} else if a.phase == phaseFetch {
+		effective = a.fetchDur - sim.Duration(a.phaseEndsAt-now)
+	}
+	delete(a.d.running[a.Node.ID], a)
+	a.d.Result.Attempts = append(a.d.Result.Attempts, mr.AttemptRecord{
+		Task:        a.Task,
+		Type:        mr.MapTask,
+		Node:        a.Node.ID,
+		Start:       a.Start,
+		End:         now,
+		Overhead:    a.d.Cost.Overhead(),
+		Effective:   effective,
+		Bytes:       a.Bytes,
+		BUs:         len(a.BUs),
+		LocalBUs:    a.LocalBUs,
+		Wave:        a.Wave,
+		Speculative: a.Speculative,
+		Killed:      true,
+	})
+	return true
+}
+
+// Killed reports whether the attempt was killed.
+func (a *MapAttempt) Killed() bool { return a.killed }
+
+// Finished reports whether the attempt completed successfully.
+func (a *MapAttempt) Finished() bool { return a.phase == phaseDone && !a.killed }
+
+// ProcessedBytes returns input bytes processed by virtual time now.
+func (a *MapAttempt) ProcessedBytes(now sim.Time) int64 {
+	switch a.phase {
+	case phaseDone:
+		return a.Bytes
+	case phaseCompute:
+		return int64(a.work.ProcessedUnits(now) / a.unitCost())
+	default:
+		return 0
+	}
+}
+
+// Progress returns fractional progress in [0,1].
+func (a *MapAttempt) Progress(now sim.Time) float64 {
+	return float64(a.ProcessedBytes(now)) / float64(a.Bytes)
+}
+
+// EstRemaining estimates time to completion assuming the node keeps its
+// current speed — the estimate LATE and SkewTune schedule from.
+func (a *MapAttempt) EstRemaining(now sim.Time) sim.Duration {
+	rate := a.d.Cost.BaseIPS * a.Node.Speed()
+	computeAll := sim.Duration(float64(a.Bytes) * a.unitCost() / rate)
+	switch a.phase {
+	case phaseOverhead:
+		return sim.Duration(a.phaseEndsAt-now) + a.fetchDur + computeAll
+	case phaseFetch:
+		return sim.Duration(a.phaseEndsAt-now) + computeAll
+	case phaseCompute:
+		remaining := a.work.total - a.work.ProcessedUnits(now)
+		return sim.Duration(remaining / rate)
+	default:
+		return 0
+	}
+}
+
+// SplitBUs returns the attempt's BUs partitioned into a fully-processed
+// prefix and the unprocessed remainder as of now (SkewTune's repartition
+// unit). A partially-read BU counts as unprocessed.
+func (a *MapAttempt) SplitBUs(now sim.Time) (done, remaining []dfs.BUID) {
+	processed := a.ProcessedBytes(now)
+	var cum int64
+	for i, id := range a.BUs {
+		cum += a.d.Store.Block(id).Size
+		if cum <= processed {
+			continue
+		}
+		return a.BUs[:i], a.BUs[i:]
+	}
+	return a.BUs, nil
+}
+
+// RunningMapsOn returns the map attempts currently executing on a node.
+func (d *Driver) RunningMapsOn(id cluster.NodeID) []*MapAttempt {
+	out := make([]*MapAttempt, 0, len(d.running[id]))
+	for a := range d.running[id] {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}
+
+// AllRunningMaps returns every in-flight map attempt, ordered by task ID.
+func (d *Driver) AllRunningMaps() []*MapAttempt {
+	var out []*MapAttempt
+	for _, set := range d.running {
+		for a := range set {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}
+
+// IntermediateOn returns intermediate bytes resident on a node.
+func (d *Driver) IntermediateOn(id cluster.NodeID) int64 { return d.interByNode[id] }
+
+// TotalIntermediate returns total shuffle volume produced so far.
+func (d *Driver) TotalIntermediate() int64 { return d.totalInter }

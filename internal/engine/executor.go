@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/sim"
+)
+
+// Work is a unit of computation running on a node whose speed may change
+// mid-flight. The executor re-plans its completion event whenever the
+// node's effective speed changes, so completion times integrate the
+// piecewise-constant speed curve exactly.
+type Work struct {
+	node  *cluster.Node
+	total float64 // work units (bytes × cost multiplier)
+	done  float64 // units completed as of lastSync
+	rate  float64 // units/second at lastSync
+
+	lastSync sim.Time
+	ev       *sim.Event
+	onDone   func()
+	exec     *Executor
+	finished bool
+	canceled bool
+}
+
+// Total returns the work size in units.
+func (w *Work) Total() float64 { return w.total }
+
+// Done reports whether the work ran to completion.
+func (w *Work) Done() bool { return w.finished }
+
+// ProcessedUnits returns the units completed by virtual time now.
+func (w *Work) ProcessedUnits(now sim.Time) float64 {
+	if w.finished {
+		return w.total
+	}
+	p := w.done + w.rate*float64(now-w.lastSync)
+	if p > w.total {
+		p = w.total
+	}
+	return p
+}
+
+// sync folds elapsed progress into done at the current time.
+func (w *Work) sync(now sim.Time) {
+	w.done = w.ProcessedUnits(now)
+	w.lastSync = now
+}
+
+// plan (re)schedules the completion event from the current state.
+func (w *Work) plan(eng *sim.Engine) {
+	if w.ev != nil {
+		eng.Cancel(w.ev)
+		w.ev = nil
+	}
+	if w.finished || w.canceled {
+		return
+	}
+	remaining := w.total - w.done
+	if w.rate <= 0 {
+		panic(fmt.Sprintf("engine: work on node %d has non-positive rate %v", w.node.ID, w.rate))
+	}
+	d := sim.Duration(remaining / w.rate)
+	w.ev = eng.After(d, "work-done", func() {
+		w.sync(eng.Now())
+		w.finished = true
+		w.exec.detach(w)
+		w.onDone()
+	})
+}
+
+// Executor runs Works on cluster nodes with dynamic speeds. It registers
+// one speed-change listener per node and re-plans all of that node's
+// running works when its speed changes.
+type Executor struct {
+	eng     *sim.Engine
+	baseIPS float64
+	running map[cluster.NodeID]map[*Work]bool
+}
+
+// NewExecutor wires an executor to every node of the cluster.
+func NewExecutor(eng *sim.Engine, c *cluster.Cluster, baseIPS float64) *Executor {
+	x := &Executor{
+		eng:     eng,
+		baseIPS: baseIPS,
+		running: make(map[cluster.NodeID]map[*Work]bool, c.Size()),
+	}
+	for _, n := range c.Nodes {
+		x.running[n.ID] = make(map[*Work]bool)
+		n.OnSpeedChange(x.onSpeedChange)
+	}
+	return x
+}
+
+func (x *Executor) onSpeedChange(n *cluster.Node) {
+	now := x.eng.Now()
+	for w := range x.running[n.ID] {
+		w.sync(now)
+		w.rate = x.rateOn(n)
+		w.plan(x.eng)
+	}
+}
+
+// rateOn returns the node's current processing rate in units/second.
+func (x *Executor) rateOn(n *cluster.Node) float64 {
+	return x.baseIPS * n.Speed()
+}
+
+// Start begins `units` of work on a node, invoking onDone at completion.
+func (x *Executor) Start(n *cluster.Node, units float64, onDone func()) *Work {
+	if units <= 0 {
+		panic("engine: work units must be positive")
+	}
+	w := &Work{
+		node:     n,
+		total:    units,
+		rate:     x.rateOn(n),
+		lastSync: x.eng.Now(),
+		onDone:   onDone,
+		exec:     x,
+	}
+	x.running[n.ID][w] = true
+	w.plan(x.eng)
+	return w
+}
+
+// Cancel stops a running work; onDone is never called. Canceling finished
+// or already-canceled work is a no-op.
+func (x *Executor) Cancel(w *Work) {
+	if w == nil || w.finished || w.canceled {
+		return
+	}
+	w.sync(x.eng.Now())
+	w.canceled = true
+	if w.ev != nil {
+		x.eng.Cancel(w.ev)
+		w.ev = nil
+	}
+	x.detach(w)
+}
+
+func (x *Executor) detach(w *Work) {
+	delete(x.running[w.node.ID], w)
+}
+
+// RunningOn returns the number of works currently executing on a node.
+func (x *Executor) RunningOn(id cluster.NodeID) int { return len(x.running[id]) }

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"testing"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/sim"
+)
+
+func TestCostModelCalibration(t *testing.T) {
+	c := DefaultCostModel()
+	// Fig. 3(b,c): 8 MB productivity ≈ 0.28, 64 MB ≈ 0.76 on a slow node.
+	p8 := c.Productivity(8*MB, 1.0, 1.0)
+	if p8 < 0.25 || p8 > 0.32 {
+		t.Errorf("8MB productivity = %.3f, want ≈0.28", p8)
+	}
+	p64 := c.Productivity(64*MB, 1.0, 1.0)
+	if p64 < 0.66 || p64 > 0.80 {
+		t.Errorf("64MB productivity = %.3f, want ≈0.7", p64)
+	}
+	// Productivity is monotonically increasing in task size.
+	prev := 0.0
+	for _, mb := range []int64{8, 16, 32, 64, 128, 256} {
+		p := c.Productivity(mb*MB, 1.0, 1.0)
+		if p <= prev {
+			t.Fatalf("productivity not increasing at %d MB", mb)
+		}
+		prev = p
+	}
+	// Faster nodes have lower productivity at the same size — the effect
+	// that drives FlexMap's differentiated vertical scaling.
+	if c.Productivity(64*MB, 1.0, 2.0) >= p64 {
+		t.Error("faster node should have lower productivity at fixed size")
+	}
+}
+
+func TestWorkConstantSpeed(t *testing.T) {
+	eng := sim.New()
+	c := cluster.Homogeneous(1)
+	x := NewExecutor(eng, c, 10) // 10 units/s at speed 1
+	done := false
+	x.Start(c.Node(0), 100, func() { done = true })
+	end := eng.Run()
+	if !done {
+		t.Fatal("work never completed")
+	}
+	if end != 10 {
+		t.Fatalf("completed at %v, want 10", end)
+	}
+}
+
+func TestWorkSpeedChangeMidFlight(t *testing.T) {
+	eng := sim.New()
+	c := cluster.NewCluster("t", []cluster.NodeSpec{{BaseSpeed: 1}})
+	n := c.Node(0)
+	x := NewExecutor(eng, c, 10)
+	var doneAt sim.Time
+	x.Start(n, 100, func() { doneAt = eng.Now() })
+	// At t=5, halve the speed: 50 units remain at 5 units/s → +10 s.
+	eng.At(5, "slow", func() { n.SetInterference(0.5) })
+	eng.Run()
+	if doneAt < 15-1e-9 || doneAt > 15+1e-9 {
+		t.Fatalf("completed at %v, want 15", doneAt)
+	}
+}
+
+func TestWorkSpeedRecovery(t *testing.T) {
+	eng := sim.New()
+	c := cluster.NewCluster("t", []cluster.NodeSpec{{BaseSpeed: 1}})
+	n := c.Node(0)
+	x := NewExecutor(eng, c, 10)
+	var doneAt sim.Time
+	x.Start(n, 100, func() { doneAt = eng.Now() })
+	eng.At(2, "slow", func() { n.SetInterference(0.25) }) // 80 left at 2.5/s
+	eng.At(6, "fast", func() { n.SetInterference(1.0) })  // 70 left at 10/s
+	eng.Run()
+	want := sim.Time(6 + 7)
+	if doneAt < want-1e-9 || doneAt > want+1e-9 {
+		t.Fatalf("completed at %v, want %v", doneAt, want)
+	}
+}
+
+func TestProcessedUnits(t *testing.T) {
+	eng := sim.New()
+	c := cluster.Homogeneous(1)
+	x := NewExecutor(eng, c, 10)
+	w := x.Start(c.Node(0), 100, func() {})
+	eng.At(3, "check", func() {
+		if got := w.ProcessedUnits(eng.Now()); got < 30-1e-9 || got > 30+1e-9 {
+			t.Errorf("ProcessedUnits at t=3 = %v, want 30", got)
+		}
+	})
+	eng.Run()
+	if !w.Done() {
+		t.Fatal("work not done")
+	}
+	if w.ProcessedUnits(eng.Now()) != 100 {
+		t.Fatal("finished work should report full units")
+	}
+}
+
+func TestCancelWork(t *testing.T) {
+	eng := sim.New()
+	c := cluster.Homogeneous(1)
+	x := NewExecutor(eng, c, 10)
+	fired := false
+	w := x.Start(c.Node(0), 100, func() { fired = true })
+	eng.At(4, "cancel", func() { x.Cancel(w) })
+	eng.Run()
+	if fired {
+		t.Fatal("canceled work completed")
+	}
+	if x.RunningOn(0) != 0 {
+		t.Fatal("canceled work still registered")
+	}
+	// Cancel is idempotent, including on nil.
+	x.Cancel(w)
+	x.Cancel(nil)
+}
+
+func TestMultipleWorksPerNode(t *testing.T) {
+	eng := sim.New()
+	c := cluster.NewCluster("t", []cluster.NodeSpec{{BaseSpeed: 1, Slots: 2}})
+	n := c.Node(0)
+	x := NewExecutor(eng, c, 10)
+	var ends []sim.Time
+	x.Start(n, 50, func() { ends = append(ends, eng.Now()) })
+	x.Start(n, 100, func() { ends = append(ends, eng.Now()) })
+	eng.At(1, "slow", func() { n.SetInterference(0.5) })
+	eng.Run()
+	// Work A: 10 units by t=1, 40 left at 5/s → t=9.
+	// Work B: 10 by t=1, 90 at 5/s → t=19.
+	if len(ends) != 2 {
+		t.Fatalf("%d works completed, want 2", len(ends))
+	}
+	if ends[0] != 9 || ends[1] != 19 {
+		t.Fatalf("ends = %v, want [9 19]", ends)
+	}
+}
+
+func TestZeroUnitsPanics(t *testing.T) {
+	eng := sim.New()
+	c := cluster.Homogeneous(1)
+	x := NewExecutor(eng, c, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-unit work did not panic")
+		}
+	}()
+	x.Start(c.Node(0), 0, func() {})
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"sort"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/mr"
+	"flexmap/internal/sim"
+)
+
+// EvenReducePlacer is stock Hadoop's policy: reducers dispatched evenly
+// (round-robin) across all nodes regardless of capacity or data locality.
+func EvenReducePlacer(d *Driver) []cluster.NodeID {
+	out := make([]cluster.NodeID, d.Spec.NumReducers)
+	for i := range out {
+		out[i] = d.Cluster.Nodes[i%d.Cluster.Size()].ID
+	}
+	return out
+}
+
+// MapsDone is called by the AM when every map task has completed. It
+// closes the map phase and either finishes the job (map-only) or starts
+// the reduce phase.
+func (d *Driver) MapsDone() {
+	if d.mapsFinished {
+		panic("engine: MapsDone called twice")
+	}
+	d.mapsFinished = true
+	d.Result.MapPhaseEnd = d.Eng.Now()
+	if d.Spec.NumReducers == 0 {
+		d.finishJob()
+		return
+	}
+	d.beginReducePhase()
+}
+
+// MapsFinished reports whether the map phase has closed.
+func (d *Driver) MapsFinished() bool { return d.mapsFinished }
+
+func (d *Driver) beginReducePhase() {
+	assign := d.ReducePlacer(d)
+	if len(assign) != d.Spec.NumReducers {
+		panic("engine: reduce placer returned wrong assignment length")
+	}
+	d.reduceRemaining = d.Spec.NumReducers
+	d.reduceQueues = make(map[cluster.NodeID][]int)
+	for p, nid := range assign {
+		d.reduceQueues[nid] = append(d.reduceQueues[nid], p)
+	}
+	// Start up to Slots reducers per node; the rest run in later waves.
+	for _, n := range d.Cluster.Nodes {
+		for i := 0; i < n.Slots; i++ {
+			d.startNextReduce(n)
+		}
+	}
+}
+
+func (d *Driver) startNextReduce(n *cluster.Node) {
+	queue := d.reduceQueues[n.ID]
+	if len(queue) == 0 {
+		return
+	}
+	p := queue[0]
+	d.reduceQueues[n.ID] = queue[1:]
+	d.runReduce(p, n)
+}
+
+// runReduce executes one reduce attempt: overhead, shuffle fetch of the
+// remote share of its partition, then merge+reduce compute.
+func (d *Driver) runReduce(p int, n *cluster.Node) {
+	start := d.Eng.Now()
+	partBytes := d.totalInter / int64(d.Spec.NumReducers)
+	localShare := d.interByNode[n.ID] / int64(d.Spec.NumReducers)
+	remote := partBytes - localShare
+	if remote < 0 {
+		remote = 0
+	}
+	fetchDur := sim.Duration(float64(remote) / (d.Cluster.NetBW * float64(MB)))
+
+	finish := func() {
+		now := d.Eng.Now()
+		d.Result.Attempts = append(d.Result.Attempts, mr.AttemptRecord{
+			Task:      reduceTaskName(p),
+			Type:      mr.ReduceTask,
+			Node:      n.ID,
+			Start:     start,
+			End:       now,
+			Overhead:  d.Cost.Overhead(),
+			Effective: sim.Duration(now-start) - d.Cost.Overhead(),
+			Bytes:     partBytes,
+		})
+		d.reduceRemaining--
+		if d.reduceRemaining == 0 {
+			d.runLiveReducers()
+			d.finishJob()
+			return
+		}
+		d.startNextReduce(n)
+	}
+
+	d.Eng.After(d.Cost.Overhead()+fetchDur, "reduce-fetch", func() {
+		units := float64(partBytes) * d.Spec.ReduceCost
+		if units <= 0 {
+			finish()
+			return
+		}
+		d.Exec.Start(n, units, finish)
+	})
+}
+
+func reduceTaskName(p int) string {
+	return "reduce-" + itoa4(p)
+}
+
+// itoa4 formats small non-negative ints zero-padded to 4 digits without
+// pulling fmt into the hot path.
+func itoa4(v int) string {
+	buf := [4]byte{'0', '0', '0', '0'}
+	for i := 3; i >= 0 && v > 0; i-- {
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[:])
+}
+
+// runLiveReducers executes attached real reduce functions over the
+// partitioned intermediate data, merging output into Result.Output.
+func (d *Driver) runLiveReducers() {
+	if d.Spec.Reducer == nil || d.partitions == nil {
+		return
+	}
+	if d.Result.Output == nil {
+		d.Result.Output = make(map[string]string)
+	}
+	emit := func(k, v string) { d.Result.Output[k] = v }
+	for _, part := range d.partitions {
+		keys := make([]string, 0, len(part))
+		for k := range part {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			d.Spec.Reducer(k, part[k], emit)
+		}
+	}
+}
+
+func (d *Driver) finishJob() {
+	if d.finished {
+		panic("engine: job finished twice")
+	}
+	d.finished = true
+	now := d.Eng.Now()
+	if d.Spec.NumReducers > 0 {
+		d.Result.ReducePhaseEnd = now
+	}
+	d.Result.Finished = now
+	for _, fn := range d.onFinished {
+		fn()
+	}
+}
+
+// Finished reports whether the job has fully completed.
+func (d *Driver) Finished() bool { return d.finished }

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/dfs"
+	"flexmap/internal/sim"
+)
+
+// SpeculationPolicy decides whether to launch a speculative copy of a
+// running map attempt on an idle node. StockAM consults it only when the
+// pending queue is empty (Hadoop's last-wave rule falls out naturally).
+type SpeculationPolicy interface {
+	// Pick returns the attempt to duplicate on node, or nil. candidates
+	// are running, non-speculative attempts whose task has no live copy
+	// yet. activeSpec is the number of speculative attempts in flight.
+	Pick(d *Driver, node *cluster.Node, candidates []*MapAttempt, activeSpec int) *MapAttempt
+}
+
+// PendingSplit is a map task waiting for dispatch. Stock splits come from
+// dfs.Splits; SkewTune mints additional ones when repartitioning.
+type PendingSplit struct {
+	Task  string
+	BUs   []dfs.BUID
+	Hosts []cluster.NodeID // nodes holding every BU (empty = no locality)
+	// ExtraFetchBytes charges additional data movement at launch
+	// (SkewTune's repartition I/O).
+	ExtraFetchBytes int64
+}
+
+// StockAM is the classic Hadoop MRAppMaster: fixed-size splits statically
+// bound at submission, locality-preferring dispatch with a short delay
+// before falling back to remote execution, and optional LATE-style
+// speculation at the last wave.
+type StockAM struct {
+	Name string
+
+	// LocalityWait is how long a node's free slot waits for node-local
+	// work before accepting a remote split.
+	LocalityWait sim.Duration
+
+	// Speculation, when non-nil, enables speculative execution.
+	Speculation SpeculationPolicy
+
+	d       *Driver
+	pending []PendingSplit
+	// attempts tracks live attempts per task; completed tasks are removed.
+	attempts  map[string][]*MapAttempt
+	completed map[string]bool
+	// tasksRemaining counts tasks not yet completed (grows when SkewTune
+	// splits a task into subtasks).
+	tasksRemaining  int
+	waveByNode      map[cluster.NodeID]int
+	remoteAllowedAt map[cluster.NodeID]sim.Time
+	activeSpec      int
+}
+
+// NewStockAM builds the stock AM over fixed splits of splitBUs block
+// units and registers it with the driver's RM.
+func NewStockAM(d *Driver, splitBUs int, speculation SpeculationPolicy) (*StockAM, error) {
+	splits, err := d.Store.Splits(d.Spec.InputFile, splitBUs)
+	if err != nil {
+		return nil, err
+	}
+	am := &StockAM{
+		Name:            fmt.Sprintf("hadoop-%dm", int64(splitBUs)*dfs.BUSize/MB),
+		LocalityWait:    1.0,
+		Speculation:     speculation,
+		d:               d,
+		attempts:        make(map[string][]*MapAttempt),
+		completed:       make(map[string]bool),
+		waveByNode:      make(map[cluster.NodeID]int),
+		remoteAllowedAt: make(map[cluster.NodeID]sim.Time),
+	}
+	for _, sp := range splits {
+		am.pending = append(am.pending, PendingSplit{
+			Task:  fmt.Sprintf("map-%04d", sp.Index),
+			BUs:   sp.BUs,
+			Hosts: sp.Hosts,
+		})
+	}
+	am.tasksRemaining = len(am.pending)
+	d.Result.Engine = am.Name
+	d.RM.SetScheduler(am)
+	return am, nil
+}
+
+// Driver returns the underlying driver.
+func (am *StockAM) Driver() *Driver { return am.d }
+
+// PendingCount returns the number of undispatched map tasks.
+func (am *StockAM) PendingCount() int { return len(am.pending) }
+
+// TasksRemaining returns the number of incomplete map tasks.
+func (am *StockAM) TasksRemaining() int { return am.tasksRemaining }
+
+// AddPending enqueues an extra map task (SkewTune subtasks) and adjusts
+// the outstanding-task count by delta (subtasks add new tasks; the
+// repartitioned original never completes).
+func (am *StockAM) AddPending(p PendingSplit, delta int) {
+	am.pending = append(am.pending, p)
+	am.tasksRemaining += delta
+	am.d.RM.Poke()
+}
+
+// OnSlotFree implements yarn.Scheduler.
+func (am *StockAM) OnSlotFree(node *cluster.Node) bool {
+	if am.d.MapsFinished() {
+		return false // reduce phase is driven by the Driver
+	}
+	return am.TryDispatch(node)
+}
+
+// TryDispatch attempts to place map work on the node: a node-local
+// pending split first, a remote split after the locality wait, then a
+// speculative copy if the policy approves.
+func (am *StockAM) TryDispatch(node *cluster.Node) bool {
+	if idx := am.findLocal(node.ID); idx >= 0 {
+		am.launchPending(node, idx)
+		return true
+	}
+	if len(am.pending) > 0 {
+		now := am.d.Eng.Now()
+		allowed, ok := am.remoteAllowedAt[node.ID]
+		if !ok {
+			// First miss: start the locality-wait timer and re-offer later.
+			am.remoteAllowedAt[node.ID] = now + sim.Time(am.LocalityWait)
+			am.d.Eng.After(am.LocalityWait, "locality-wait", func() { am.d.RM.Poke() })
+			return false
+		}
+		if now < allowed {
+			return false
+		}
+		am.launchPending(node, 0) // FIFO remote pick
+		return true
+	}
+	return am.trySpeculate(node)
+}
+
+func (am *StockAM) findLocal(id cluster.NodeID) int {
+	for i, p := range am.pending {
+		for _, h := range p.Hosts {
+			if h == id {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func (am *StockAM) launchPending(node *cluster.Node, idx int) {
+	p := am.pending[idx]
+	am.pending = append(am.pending[:idx], am.pending[idx+1:]...)
+	// Reset the node's locality wait: delay scheduling re-waits per task
+	// assignment, whether this launch was local or (timed-out) remote.
+	delete(am.remoteAllowedAt, node.ID)
+	am.launch(node, p, false)
+}
+
+func (am *StockAM) launch(node *cluster.Node, p PendingSplit, speculative bool) {
+	container := am.d.RM.Acquire(node)
+	local := 0
+	bus := p.BUs
+	// Order local BUs first so fetch accounting is exact.
+	ordered := make([]dfs.BUID, 0, len(bus))
+	var remote []dfs.BUID
+	for _, id := range bus {
+		if am.d.Store.HasReplica(node.ID, id) {
+			ordered = append(ordered, id)
+		} else {
+			remote = append(remote, id)
+		}
+	}
+	local = len(ordered)
+	ordered = append(ordered, remote...)
+
+	// A "wave" is one round of concurrent tasks on the node: the first
+	// Slots launches are wave 0, the next Slots are wave 1, and so on.
+	wave := am.waveByNode[node.ID] / node.Slots
+	am.waveByNode[node.ID]++
+	if speculative {
+		am.activeSpec++
+	}
+	a := am.d.LaunchMap(MapLaunch{
+		Task:            p.Task,
+		Node:            node,
+		Container:       container,
+		BUs:             ordered,
+		LocalBUs:        local,
+		Wave:            wave,
+		Speculative:     speculative,
+		ExtraFetchBytes: p.ExtraFetchBytes,
+		OnDone:          am.onMapDone,
+	})
+	am.attempts[p.Task] = append(am.attempts[p.Task], a)
+}
+
+func (am *StockAM) onMapDone(a *MapAttempt) {
+	if a.Speculative {
+		am.activeSpec--
+	}
+	a.Container.Release()
+	if am.completed[a.Task] {
+		return // lost a photo-finish race; winner already committed
+	}
+	am.completed[a.Task] = true
+	am.d.CommitOutput(a)
+	// Kill losing attempts of the same task.
+	for _, other := range am.attempts[a.Task] {
+		if other != a && other.Kill() {
+			if other.Speculative {
+				am.activeSpec--
+			}
+			other.Container.Release()
+		}
+	}
+	delete(am.attempts, a.Task)
+	am.tasksRemaining--
+	if am.tasksRemaining == 0 {
+		am.d.MapsDone()
+	}
+}
+
+// KillTaskAttempts force-kills all live attempts of a task (SkewTune
+// repartition). It returns the attempts that were actually killed.
+func (am *StockAM) KillTaskAttempts(task string) []*MapAttempt {
+	var killed []*MapAttempt
+	for _, a := range am.attempts[task] {
+		if a.Kill() {
+			if a.Speculative {
+				am.activeSpec--
+			}
+			a.Container.Release()
+			killed = append(killed, a)
+		}
+	}
+	delete(am.attempts, task)
+	return killed
+}
+
+func (am *StockAM) trySpeculate(node *cluster.Node) bool {
+	if am.Speculation == nil {
+		return false
+	}
+	var candidates []*MapAttempt
+	for task, list := range am.attempts {
+		if am.completed[task] || len(list) != 1 {
+			continue // already has a copy in flight
+		}
+		a := list[0]
+		if !a.Speculative && !a.Killed() {
+			candidates = append(candidates, a)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Task < candidates[j].Task })
+	victim := am.Speculation.Pick(am.d, node, candidates, am.activeSpec)
+	if victim == nil {
+		return false
+	}
+	am.launch(node, PendingSplit{Task: victim.Task, BUs: victim.BUs}, true)
+	return true
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexmap/internal/metrics"
+	"flexmap/internal/puma"
+	"flexmap/internal/runner"
+)
+
+// Fig1Result holds the map-runtime distributions of wordcount under
+// stock Hadoop (64 MB splits) on the physical and virtual clusters —
+// the paper's Fig. 1 evidence that heterogeneity imbalances map tasks.
+type Fig1Result struct {
+	Physical metrics.Stats
+	Virtual  metrics.Stats
+	// Spread is max/min map runtime per cluster; the tail-robust
+	// P90/P10 ratio is the paper-comparable figure (paper: ≈2× physical,
+	// ≈5× virtual).
+	PhysicalSpread   float64
+	VirtualSpread    float64
+	PhysicalSpread90 float64
+	VirtualSpread90  float64
+	physHist         *metrics.Histogram
+	virtHist         *metrics.Histogram
+}
+
+// Fig1 runs the experiment.
+func Fig1(cfg Config) (*Fig1Result, error) {
+	cfg = cfg.withDefaults()
+	p, err := puma.GetProfile(puma.WordCount)
+	if err != nil {
+		return nil, err
+	}
+	input := smallInput(p, cfg.Scale)
+	eng := runner.Engine{Kind: runner.Hadoop, SplitMB: 64}
+
+	physRes, err := runOne(cfg, physicalDef(), puma.WordCount, input, eng)
+	if err != nil {
+		return nil, err
+	}
+	virtRes, err := runOne(cfg, virtualDef(cfg.Seed), puma.WordCount, input, eng)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Fig1Result{}
+	phys := metrics.MapRuntimes(physRes.JobResult)
+	virt := metrics.MapRuntimes(virtRes.JobResult)
+	out.Physical = metrics.Describe(phys)
+	out.Virtual = metrics.Describe(virt)
+	if out.Physical.Min > 0 {
+		out.PhysicalSpread = out.Physical.Max / out.Physical.Min
+	}
+	if out.Virtual.Min > 0 {
+		out.VirtualSpread = out.Virtual.Max / out.Virtual.Min
+	}
+	if out.Physical.P10 > 0 {
+		out.PhysicalSpread90 = out.Physical.P90 / out.Physical.P10
+	}
+	if out.Virtual.P10 > 0 {
+		out.VirtualSpread90 = out.Virtual.P90 / out.Virtual.P10
+	}
+	out.physHist = metrics.NewHistogram(phys, 0, out.Physical.Max, 20)
+	out.virtHist = metrics.NewHistogram(virt, 0, out.Virtual.Max, 20)
+	return out, nil
+}
+
+// Render prints the paper-style summary.
+func (r *Fig1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 1 — wordcount map runtimes in heterogeneous clusters (hadoop-64m)\n")
+	rows := [][]string{
+		{"physical", f1(r.Physical.Min), f1(r.Physical.P50), f1(r.Physical.Max),
+			fmt.Sprintf("%.1fx", r.PhysicalSpread), fmt.Sprintf("%.1fx", r.PhysicalSpread90)},
+		{"virtual", f1(r.Virtual.Min), f1(r.Virtual.P50), f1(r.Virtual.Max),
+			fmt.Sprintf("%.1fx", r.VirtualSpread), fmt.Sprintf("%.1fx", r.VirtualSpread90)},
+	}
+	b.WriteString(metrics.Table([]string{"cluster", "min(s)", "p50(s)", "max(s)", "max/min", "p90/p10"}, rows))
+	fmt.Fprintf(&b, "physical runtime histogram: %s\n", metrics.Sparkline(toF(r.physHist.PDF())))
+	fmt.Fprintf(&b, "virtual  runtime histogram: %s\n", metrics.Sparkline(toF(r.virtHist.PDF())))
+	b.WriteString("(paper: slowest physical map ≈2x the fastest; ≈20% of virtual maps up to 5x slower)\n")
+	return b.String()
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func toF(xs []float64) []float64 { return xs }

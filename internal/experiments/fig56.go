@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexmap/internal/metrics"
+	"flexmap/internal/puma"
+)
+
+// Cell is one benchmark × engine measurement of the Fig. 5/6 matrix.
+type Cell struct {
+	Bench   puma.Benchmark
+	Engine  string
+	Summary metrics.Summary
+	// NormJCT is JCT normalized to hadoop-64m on the same benchmark and
+	// cluster (the y-axis of Fig. 5).
+	NormJCT float64
+}
+
+// Fig56Result holds the full evaluation matrix for one cluster: every
+// PUMA benchmark under every compared engine. Fig. 5 reads the
+// normalized JCT; Fig. 6 reads the efficiency.
+type Fig56Result struct {
+	Cluster string
+	Cells   []Cell
+}
+
+// Fig56 runs the matrix on the named testbed ("physical" or "virtual"),
+// the two environments of Fig. 5/6.
+func Fig56(cfg Config, clusterName string) (*Fig56Result, error) {
+	cfg = cfg.withDefaults()
+	var def clusterDef
+	switch clusterName {
+	case "physical":
+		def = physicalDef()
+	case "virtual":
+		def = virtualDef(cfg.Seed)
+	default:
+		return nil, fmt.Errorf("experiments: unknown Fig.5 cluster %q (want physical or virtual)", clusterName)
+	}
+
+	out := &Fig56Result{Cluster: clusterName}
+	for _, bench := range cfg.Benchmarks {
+		p, err := puma.GetProfile(bench)
+		if err != nil {
+			return nil, err
+		}
+		input := smallInput(p, cfg.Scale)
+		var sums []metrics.Summary
+		var cells []Cell
+		for _, eng := range comparedEngines() {
+			res, err := runOne(cfg, def, bench, input, eng)
+			if err != nil {
+				return nil, err
+			}
+			sum := metrics.Summarize(res.JobResult)
+			sums = append(sums, sum)
+			cells = append(cells, Cell{Bench: bench, Engine: sum.Engine, Summary: sum})
+		}
+		norm, err := metrics.NormalizeTo(Baseline64, sums)
+		if err != nil {
+			return nil, err
+		}
+		for i := range cells {
+			cells[i].NormJCT = norm[cells[i].Engine]
+		}
+		out.Cells = append(out.Cells, cells...)
+	}
+	return out, nil
+}
+
+// engineOrder lists the engines in legend order for rendering.
+func (r *Fig56Result) engineOrder() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range r.Cells {
+		if !seen[c.Engine] {
+			seen[c.Engine] = true
+			out = append(out, c.Engine)
+		}
+	}
+	return out
+}
+
+// cell returns the cell for (bench, engine).
+func (r *Fig56Result) cell(b puma.Benchmark, engine string) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Bench == b && c.Engine == engine {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// benches lists benchmarks in matrix order.
+func (r *Fig56Result) benches() []puma.Benchmark {
+	seen := map[puma.Benchmark]bool{}
+	var out []puma.Benchmark
+	for _, c := range r.Cells {
+		if !seen[c.Bench] {
+			seen[c.Bench] = true
+			out = append(out, c.Bench)
+		}
+	}
+	return out
+}
+
+// RenderFig5 prints normalized JCT per benchmark × engine.
+func (r *Fig56Result) RenderFig5() string {
+	return r.render("Fig. 5 — normalized JCT", func(c Cell) string {
+		return fmt.Sprintf("%.2f", c.NormJCT)
+	})
+}
+
+// RenderFig6 prints job efficiency per benchmark × engine.
+func (r *Fig56Result) RenderFig6() string {
+	return r.render("Fig. 6 — job efficiency", func(c Cell) string {
+		return fmt.Sprintf("%.2f", c.Summary.Efficiency)
+	})
+}
+
+func (r *Fig56Result) render(title string, value func(Cell) string) string {
+	engines := r.engineOrder()
+	header := append([]string{"benchmark"}, engines...)
+	var rows [][]string
+	for _, bench := range r.benches() {
+		row := []string{bench.Short()}
+		for _, engine := range engines {
+			if c, ok := r.cell(bench, engine); ok {
+				row = append(row, value(c))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s, %s cluster (baseline %s = 1.00)\n", title, r.Cluster, Baseline64)
+	b.WriteString(metrics.Table(header, rows))
+	return b.String()
+}
+
+// FlexMapGain returns FlexMap's JCT improvement in percent over the
+// given engine for one benchmark (positive = FlexMap faster).
+func (r *Fig56Result) FlexMapGain(b puma.Benchmark, over string) (float64, error) {
+	fm, ok1 := r.cell(b, "flexmap")
+	other, ok2 := r.cell(b, over)
+	if !ok1 || !ok2 {
+		return 0, fmt.Errorf("experiments: missing cells for %s", b)
+	}
+	return metrics.SpeedupPercent(fm.Summary.JCT, other.Summary.JCT), nil
+}

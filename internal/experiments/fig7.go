@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/metrics"
+	"flexmap/internal/puma"
+	"flexmap/internal/runner"
+)
+
+// Fig7Trace is the task-size and productivity trajectory of one node
+// (the fastest or slowest) across map-phase progress.
+type Fig7Trace struct {
+	Node    cluster.NodeID
+	Speed   float64
+	Buckets []metrics.TraceBucket
+	// FinalBUs is the last dispatched task size before the endgame.
+	FinalBUs int
+}
+
+// Fig7Result reproduces Fig. 7: how FlexMap grows task sizes and
+// productivity on the fastest vs slowest node while running
+// histogram-ratings on the physical and virtual clusters.
+type Fig7Result struct {
+	Clusters map[string]struct {
+		Fast Fig7Trace
+		Slow Fig7Trace
+	}
+}
+
+// Fig7 runs histogram-ratings under FlexMap on both clusters and
+// extracts the per-node traces.
+func Fig7(cfg Config) (*Fig7Result, error) {
+	cfg = cfg.withDefaults()
+	p, err := puma.GetProfile(puma.HistogramRatings)
+	if err != nil {
+		return nil, err
+	}
+	input := smallInput(p, cfg.Scale)
+	out := &Fig7Result{Clusters: map[string]struct {
+		Fast Fig7Trace
+		Slow Fig7Trace
+	}{}}
+
+	for _, def := range []clusterDef{physicalDef(), virtualDef(cfg.Seed)} {
+		res, err := runOne(cfg, def, puma.HistogramRatings, input, runner.Engine{Kind: runner.FlexMap})
+		if err != nil {
+			return nil, err
+		}
+		fast, slow := extremeNodes(res.Cluster)
+		entry := struct {
+			Fast Fig7Trace
+			Slow Fig7Trace
+		}{
+			Fast: traceFor(res, fast),
+			Slow: traceFor(res, slow),
+		}
+		out.Clusters[def.name] = entry
+	}
+	return out, nil
+}
+
+// extremeNodes identifies the fastest and slowest worker by final
+// effective speed (the paper used a performance probe).
+func extremeNodes(c *cluster.Cluster) (fast, slow cluster.NodeID) {
+	fastV, slowV := -1.0, -1.0
+	for _, n := range c.Nodes {
+		s := n.Speed()
+		if fastV < 0 || s > fastV {
+			fastV, fast = s, n.ID
+		}
+		if slowV < 0 || s < slowV {
+			slowV, slow = s, n.ID
+		}
+	}
+	return fast, slow
+}
+
+// traceFor builds a node's size/productivity trajectory over map-phase
+// progress from the run's size trace and attempt records.
+func traceFor(res *runner.Result, node cluster.NodeID) Fig7Trace {
+	t := Fig7Trace{Node: node, Speed: res.Cluster.Node(node).Speed()}
+	phase := float64(res.MapPhaseRuntime())
+	if phase <= 0 {
+		return t
+	}
+	var progress, bus, prod []float64
+	maxBUs := 0
+	for _, a := range res.MapAttempts() {
+		if a.Node != node {
+			continue
+		}
+		progress = append(progress, (float64(a.Start)-float64(res.MapPhaseStart))/phase)
+		bus = append(bus, float64(a.BUs))
+		prod = append(prod, a.Productivity())
+		if a.BUs > maxBUs {
+			maxBUs = a.BUs
+		}
+	}
+	t.Buckets = metrics.BucketTrace(progress, bus, prod, 10)
+	t.FinalBUs = maxBUs
+	return t
+}
+
+// Render prints the four panels of Fig. 7.
+func (r *Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — FlexMap task size and productivity vs map-phase progress (histogram-ratings)\n")
+	for _, name := range []string{"physical", "virtual"} {
+		entry, ok := r.Clusters[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "\n[%s cluster] fast node %d (speed %.1fx), slow node %d (speed %.1fx)\n",
+			name, entry.Fast.Node, entry.Fast.Speed, entry.Slow.Node, entry.Slow.Speed)
+		var rows [][]string
+		for i := range entry.Fast.Buckets {
+			fb, sb := entry.Fast.Buckets[i], entry.Slow.Buckets[i]
+			rows = append(rows, []string{
+				fmt.Sprintf("%.0f%%", fb.Progress*100),
+				cellOrDash(fb.Count, fb.MeanBUs, "%.1f"),
+				cellOrDash(fb.Count, fb.MeanProd, "%.2f"),
+				cellOrDash(sb.Count, sb.MeanBUs, "%.1f"),
+				cellOrDash(sb.Count, sb.MeanProd, "%.2f"),
+			})
+		}
+		b.WriteString(metrics.Table(
+			[]string{"progress", "fast BUs", "fast prod", "slow BUs", "slow prod"}, rows))
+		fmt.Fprintf(&b, "peak task size: fast %d BUs (%d MB), slow %d BUs (%d MB)\n",
+			entry.Fast.FinalBUs, entry.Fast.FinalBUs*8, entry.Slow.FinalBUs, entry.Slow.FinalBUs*8)
+	}
+	b.WriteString("\n(paper: physical peaked at 32 BUs fast / 8 BUs slow; virtual at 64 / 2)\n")
+	return b.String()
+}
+
+func cellOrDash(count int, v float64, format string) string {
+	if count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf(format, v)
+}

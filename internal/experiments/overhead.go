@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/metrics"
+	"flexmap/internal/puma"
+	"flexmap/internal/runner"
+)
+
+// OverheadResult reproduces §IV-D: wordcount on a 6-node homogeneous
+// cluster, where horizontal scaling is effectively disabled and any
+// FlexMap/stock difference is pure elastic-sizing overhead (the paper
+// measured ≈5% penalty).
+type OverheadResult struct {
+	StockJCT   float64
+	FlexMapJCT float64
+	// PenaltyPercent is positive when FlexMap is slower than stock.
+	PenaltyPercent float64
+}
+
+// Overhead runs the experiment.
+func Overhead(cfg Config) (*OverheadResult, error) {
+	cfg = cfg.withDefaults()
+	p, err := puma.GetProfile(puma.WordCount)
+	if err != nil {
+		return nil, err
+	}
+	input := smallInput(p, cfg.Scale)
+	def := clusterDef{"homogeneous-6", func() (*cluster.Cluster, cluster.Interferer) {
+		return cluster.HomogeneousPaper(6), nil
+	}}
+
+	stock, err := runOne(cfg, def, puma.WordCount, input, runner.Engine{Kind: runner.Hadoop, SplitMB: 64})
+	if err != nil {
+		return nil, err
+	}
+	flex, err := runOne(cfg, def, puma.WordCount, input, runner.Engine{Kind: runner.FlexMap})
+	if err != nil {
+		return nil, err
+	}
+	out := &OverheadResult{
+		StockJCT:   float64(stock.JCT()),
+		FlexMapJCT: float64(flex.JCT()),
+	}
+	out.PenaltyPercent = -metrics.SpeedupPercent(out.FlexMapJCT, out.StockJCT)
+	return out, nil
+}
+
+// Render prints the comparison.
+func (r *OverheadResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§IV-D — FlexMap overhead on a homogeneous 6-node cluster (wordcount)\n")
+	rows := [][]string{
+		{"hadoop-64m", fmt.Sprintf("%.1f", r.StockJCT)},
+		{"flexmap", fmt.Sprintf("%.1f", r.FlexMapJCT)},
+	}
+	b.WriteString(metrics.Table([]string{"engine", "JCT(s)"}, rows))
+	fmt.Fprintf(&b, "FlexMap penalty: %+.1f%% (paper: ≈5%% penalty)\n", r.PenaltyPercent)
+	return b.String()
+}

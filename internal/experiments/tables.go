@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/metrics"
+	"flexmap/internal/puma"
+)
+
+// TableI renders the heterogeneous physical cluster's hardware
+// configuration (paper Table I) from the live profile, including the
+// calibrated relative speeds and container slots this reproduction
+// assigns to each machine class.
+func TableI() string {
+	c := cluster.Physical12()
+	type class struct {
+		count int
+		speed float64
+		slots int
+	}
+	classes := map[string]*class{}
+	for _, n := range c.Nodes {
+		cl := classes[n.Class]
+		if cl == nil {
+			cl = &class{}
+			classes[n.Class] = cl
+		}
+		cl.count++
+		cl.speed = n.BaseSpeed
+		cl.slots = n.Slots
+	}
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	rows := make([][]string, 0, len(names))
+	for _, name := range names {
+		cl := classes[name]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", cl.count),
+			fmt.Sprintf("%.1fx", cl.speed),
+			fmt.Sprintf("%d", cl.slots),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Table I — heterogeneous physical cluster (12 nodes)\n")
+	b.WriteString(metrics.Table(
+		[]string{"Machine model", "Number", "Rel. speed", "Container slots"}, rows))
+	return b.String()
+}
+
+// TableII renders the PUMA benchmark configuration (paper Table II) plus
+// the calibrated cost profile this reproduction uses for each benchmark.
+func TableII() string {
+	rows := make([][]string, 0, len(puma.All))
+	for _, bench := range puma.All {
+		p, err := puma.GetProfile(bench)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%s (%s)", bench, bench.Short()),
+			fmt.Sprintf("%dGB / %dGB", p.SmallGB, p.LargeGB),
+			p.Dataset,
+			fmt.Sprintf("%.2f", p.MapCost),
+			fmt.Sprintf("%.2f", p.ShuffleRatio),
+			fmt.Sprintf("%.2f", p.ReduceCost),
+			fmt.Sprintf("%v", p.MapHeavy),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Table II — PUMA benchmark details (small/large inputs)\n")
+	b.WriteString(metrics.Table(
+		[]string{"Benchmark", "Input (S/L)", "Data", "MapCost", "Shuffle", "ReduceCost", "Map-heavy"}, rows))
+	return b.String()
+}

@@ -1,0 +1,334 @@
+// Package puma models the Purdue MapReduce Benchmark suite (PUMA) used in
+// the paper's evaluation (Table II): eight benchmarks with calibrated
+// per-byte map cost, shuffle volume, and reduce cost, plus real map and
+// reduce functions that run over the synthetic datasets in
+// internal/datagen for live-correctness runs.
+package puma
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flexmap/internal/mr"
+)
+
+// Benchmark identifies one PUMA workload.
+type Benchmark string
+
+// The eight benchmarks of Table II.
+const (
+	WordCount        Benchmark = "wordcount"
+	InvertedIndex    Benchmark = "inverted-index"
+	TermVector       Benchmark = "term-vector"
+	Grep             Benchmark = "grep"
+	KMeans           Benchmark = "kmeans"
+	HistogramMovies  Benchmark = "histogram-movies"
+	HistogramRatings Benchmark = "histogram-ratings"
+	TeraSort         Benchmark = "tera-sort"
+)
+
+// All lists the benchmarks in the paper's figure order
+// (WC, II, TV, GR, KM, HR, HM, TS).
+var All = []Benchmark{
+	WordCount, InvertedIndex, TermVector, Grep,
+	KMeans, HistogramRatings, HistogramMovies, TeraSort,
+}
+
+// Short returns the two-letter label the paper's figures use.
+func (b Benchmark) Short() string {
+	switch b {
+	case WordCount:
+		return "WC"
+	case InvertedIndex:
+		return "II"
+	case TermVector:
+		return "TV"
+	case Grep:
+		return "GR"
+	case KMeans:
+		return "KM"
+	case HistogramMovies:
+		return "HM"
+	case HistogramRatings:
+		return "HR"
+	case TeraSort:
+		return "TS"
+	}
+	return string(b)
+}
+
+// Profile is the calibrated cost profile of one benchmark.
+type Profile struct {
+	Bench Benchmark
+	// MapCost, ShuffleRatio, ReduceCost feed mr.JobSpec (wordcount = 1.0
+	// map-cost baseline).
+	MapCost      float64
+	ShuffleRatio float64
+	ReduceCost   float64
+	// SmallGB and LargeGB are the Table II input sizes.
+	SmallGB int
+	LargeGB int
+	// Dataset names the input generator: "wikipedia", "netflix", "teragen".
+	Dataset string
+	// MapHeavy marks benchmarks the paper calls map-heavy.
+	MapHeavy bool
+}
+
+// profiles: shuffle ratios follow the production-trace observation the
+// paper cites (map-heavy jobs shuffle ≤10% of input) for WC/GR/KM/HM/HR,
+// while II/TV/TS move most of their input through the shuffle and are
+// reduce-dominated.
+var profiles = map[Benchmark]Profile{
+	WordCount:        {WordCount, 1.0, 0.10, 1.0, 20, 256, "wikipedia", true},
+	InvertedIndex:    {InvertedIndex, 0.9, 0.90, 1.4, 20, 256, "wikipedia", false},
+	TermVector:       {TermVector, 1.1, 0.60, 1.2, 10, 256, "wikipedia", false},
+	Grep:             {Grep, 0.6, 0.01, 0.3, 20, 256, "wikipedia", true},
+	KMeans:           {KMeans, 2.5, 0.05, 0.6, 10, 256, "netflix", true},
+	HistogramMovies:  {HistogramMovies, 0.8, 0.02, 0.3, 10, 128, "netflix", true},
+	HistogramRatings: {HistogramRatings, 0.8, 0.02, 0.3, 10, 128, "netflix", true},
+	TeraSort:         {TeraSort, 0.5, 1.00, 1.1, 10, 128, "teragen", false},
+}
+
+// GetProfile returns a benchmark's cost profile.
+func GetProfile(b Benchmark) (Profile, error) {
+	p, ok := profiles[b]
+	if !ok {
+		return Profile{}, fmt.Errorf("puma: unknown benchmark %q", b)
+	}
+	return p, nil
+}
+
+// Spec builds the mr.JobSpec for a benchmark with real map/reduce
+// functions attached. inputFile is the DFS file name; reducers sizes the
+// reduce phase (the experiments use roughly half the cluster's slots).
+func Spec(b Benchmark, inputFile string, reducers int) (mr.JobSpec, error) {
+	p, err := GetProfile(b)
+	if err != nil {
+		return mr.JobSpec{}, err
+	}
+	return mr.JobSpec{
+		Name:         string(b),
+		InputFile:    inputFile,
+		NumReducers:  reducers,
+		MapCost:      p.MapCost,
+		ShuffleRatio: p.ShuffleRatio,
+		ReduceCost:   p.ReduceCost,
+		Mapper:       Mappers[b],
+		Reducer:      Reducers[b],
+	}, nil
+}
+
+// Mappers holds the live map function of each benchmark.
+var Mappers = map[Benchmark]mr.Mapper{
+	WordCount:        wordCountMap,
+	InvertedIndex:    invertedIndexMap,
+	TermVector:       termVectorMap,
+	Grep:             grepMap,
+	KMeans:           kmeansMap,
+	HistogramMovies:  histogramMoviesMap,
+	HistogramRatings: histogramRatingsMap,
+	TeraSort:         teraSortMap,
+}
+
+// Reducers holds the live reduce function of each benchmark.
+var Reducers = map[Benchmark]mr.Reducer{
+	WordCount:        sumReduce,
+	InvertedIndex:    uniqueListReduce,
+	TermVector:       termVectorReduce,
+	Grep:             sumReduce,
+	KMeans:           meanReduce,
+	HistogramMovies:  meanReduce,
+	HistogramRatings: sumReduce,
+	TeraSort:         identityReduce,
+}
+
+// GrepPattern is the substring the live grep benchmark searches for.
+const GrepPattern = "data"
+
+func lines(block []byte) []string {
+	return strings.Split(strings.TrimRight(string(block), "\n"), "\n")
+}
+
+// wordCountMap emits (word, 1) for every word in the document bodies.
+func wordCountMap(block []byte, emit func(k, v string)) {
+	for _, line := range lines(block) {
+		body := line
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			body = line[i+1:]
+		}
+		for _, w := range strings.Fields(body) {
+			emit(w, "1")
+		}
+	}
+}
+
+// grepMap emits (pattern, 1) per matching line.
+func grepMap(block []byte, emit func(k, v string)) {
+	for _, line := range lines(block) {
+		if strings.Contains(line, GrepPattern) {
+			emit(GrepPattern, "1")
+		}
+	}
+}
+
+// invertedIndexMap emits (word, docID).
+func invertedIndexMap(block []byte, emit func(k, v string)) {
+	for _, line := range lines(block) {
+		i := strings.IndexByte(line, '\t')
+		if i < 0 {
+			continue
+		}
+		doc := line[:i]
+		for _, w := range strings.Fields(line[i+1:]) {
+			emit(w, doc)
+		}
+	}
+}
+
+// termVectorMap emits (word, "docID:count") per document.
+func termVectorMap(block []byte, emit func(k, v string)) {
+	for _, line := range lines(block) {
+		i := strings.IndexByte(line, '\t')
+		if i < 0 {
+			continue
+		}
+		doc := line[:i]
+		counts := map[string]int{}
+		for _, w := range strings.Fields(line[i+1:]) {
+			counts[w]++
+		}
+		words := make([]string, 0, len(counts))
+		for w := range counts {
+			words = append(words, w)
+		}
+		sort.Strings(words)
+		for _, w := range words {
+			emit(w, doc+":"+strconv.Itoa(counts[w]))
+		}
+	}
+}
+
+// kmeansMap assigns each rating record to one of k=6 clusters by a cheap
+// hash of its feature (movie, rating) pair and emits (cluster, rating) —
+// one assignment pass of Lloyd's algorithm with fixed centroids.
+func kmeansMap(block []byte, emit func(k, v string)) {
+	const k = 6
+	for _, line := range lines(block) {
+		parts := strings.SplitN(line, ",", 4)
+		if len(parts) < 3 {
+			continue
+		}
+		movie, err1 := strconv.Atoi(parts[0])
+		rating, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		clusterID := (movie*31 + rating) % k
+		emit("cluster-"+strconv.Itoa(clusterID), parts[2])
+	}
+}
+
+// histogramMoviesMap emits (movieID, rating) for per-movie averaging.
+func histogramMoviesMap(block []byte, emit func(k, v string)) {
+	for _, line := range lines(block) {
+		parts := strings.SplitN(line, ",", 4)
+		if len(parts) < 3 {
+			continue
+		}
+		emit("movie-"+parts[0], parts[2])
+	}
+}
+
+// histogramRatingsMap emits (rating, 1), the 5-bucket rating histogram.
+func histogramRatingsMap(block []byte, emit func(k, v string)) {
+	for _, line := range lines(block) {
+		parts := strings.SplitN(line, ",", 4)
+		if len(parts) < 3 {
+			continue
+		}
+		emit("rating-"+parts[2], "1")
+	}
+}
+
+// teraSortMap emits (key, payload); sorting falls out of the framework's
+// ordered reduce.
+func teraSortMap(block []byte, emit func(k, v string)) {
+	for _, line := range lines(block) {
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			emit(line[:i], line[i+1:])
+		}
+	}
+}
+
+// sumReduce emits the count of values per key.
+func sumReduce(key string, values []string, emit func(k, v string)) {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			n = 1
+		}
+		total += n
+	}
+	emit(key, strconv.Itoa(total))
+}
+
+// uniqueListReduce emits the sorted, de-duplicated value list.
+func uniqueListReduce(key string, values []string, emit func(k, v string)) {
+	seen := map[string]bool{}
+	var uniq []string
+	for _, v := range values {
+		if !seen[v] {
+			seen[v] = true
+			uniq = append(uniq, v)
+		}
+	}
+	sort.Strings(uniq)
+	emit(key, strings.Join(uniq, ","))
+}
+
+// termVectorReduce keeps the highest-count posting per term.
+func termVectorReduce(key string, values []string, emit func(k, v string)) {
+	best, bestCount := "", -1
+	for _, v := range values {
+		i := strings.LastIndexByte(v, ':')
+		if i < 0 {
+			continue
+		}
+		n, err := strconv.Atoi(v[i+1:])
+		if err != nil {
+			continue
+		}
+		if n > bestCount || (n == bestCount && v < best) {
+			best, bestCount = v, n
+		}
+	}
+	if bestCount >= 0 {
+		emit(key, best)
+	}
+}
+
+// meanReduce emits the arithmetic mean of numeric values.
+func meanReduce(key string, values []string, emit func(k, v string)) {
+	sum, n := 0.0, 0
+	for _, v := range values {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			continue
+		}
+		sum += f
+		n++
+	}
+	if n > 0 {
+		emit(key, strconv.FormatFloat(sum/float64(n), 'f', 3, 64))
+	}
+}
+
+// identityReduce re-emits each value under its key.
+func identityReduce(key string, values []string, emit func(k, v string)) {
+	for _, v := range values {
+		emit(key, v)
+	}
+}

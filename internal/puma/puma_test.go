@@ -1,0 +1,240 @@
+package puma
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flexmap/internal/datagen"
+)
+
+func TestAllBenchmarksHaveProfilesAndFunctions(t *testing.T) {
+	if len(All) != 8 {
+		t.Fatalf("expected 8 PUMA benchmarks, have %d", len(All))
+	}
+	for _, b := range All {
+		p, err := GetProfile(b)
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if p.MapCost <= 0 || p.ReduceCost < 0 || p.ShuffleRatio < 0 {
+			t.Errorf("%s: invalid cost profile %+v", b, p)
+		}
+		if p.SmallGB <= 0 || p.LargeGB < p.SmallGB {
+			t.Errorf("%s: invalid input sizes %d/%d", b, p.SmallGB, p.LargeGB)
+		}
+		if Mappers[b] == nil || Reducers[b] == nil {
+			t.Errorf("%s: missing live map/reduce function", b)
+		}
+		if b.Short() == string(b) {
+			t.Errorf("%s: no short label", b)
+		}
+	}
+}
+
+func TestGetProfileUnknown(t *testing.T) {
+	if _, err := GetProfile("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestSpecBuilds(t *testing.T) {
+	spec, err := Spec(WordCount, "in", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mapper == nil || spec.Reducer == nil {
+		t.Fatal("spec missing live functions")
+	}
+	if _, err := Spec("nope", "in", 4); err == nil {
+		t.Fatal("unknown benchmark accepted by Spec")
+	}
+}
+
+func TestMapHeavyClassification(t *testing.T) {
+	// The paper's map-heavy set: WC, GR, HR (plus HM, KM by shuffle
+	// ratio); II, TV, TS are shuffle/reduce-dominated.
+	for _, b := range []Benchmark{WordCount, Grep, HistogramRatings} {
+		p, _ := GetProfile(b)
+		if !p.MapHeavy || p.ShuffleRatio > 0.10 {
+			t.Errorf("%s should be map-heavy with shuffle ≤ 10%%, got %+v", b, p)
+		}
+	}
+	for _, b := range []Benchmark{InvertedIndex, TeraSort} {
+		p, _ := GetProfile(b)
+		if p.MapHeavy || p.ShuffleRatio < 0.5 {
+			t.Errorf("%s should be reduce-heavy, got %+v", b, p)
+		}
+	}
+}
+
+func collect(m map[string][]string) func(k, v string) {
+	return func(k, v string) { m[k] = append(m[k], v) }
+}
+
+func TestWordCountMapReduce(t *testing.T) {
+	inter := map[string][]string{}
+	wordCountMap([]byte("doc-1\tfoo bar foo\ndoc-2\tbar\n"), collect(inter))
+	if len(inter["foo"]) != 2 || len(inter["bar"]) != 2 {
+		t.Fatalf("wordcount map wrong: %v", inter)
+	}
+	out := map[string][]string{}
+	sumReduce("foo", inter["foo"], collect(out))
+	if out["foo"][0] != "2" {
+		t.Fatalf("wordcount reduce wrong: %v", out)
+	}
+}
+
+func TestGrepMap(t *testing.T) {
+	inter := map[string][]string{}
+	grepMap([]byte("has data here\nnothing\nmore data\n"), collect(inter))
+	if len(inter[GrepPattern]) != 2 {
+		t.Fatalf("grep matched %d lines, want 2", len(inter[GrepPattern]))
+	}
+}
+
+func TestInvertedIndexMapReduce(t *testing.T) {
+	inter := map[string][]string{}
+	invertedIndexMap([]byte("doc-1\tfoo bar\ndoc-2\tfoo foo\n"), collect(inter))
+	out := map[string][]string{}
+	uniqueListReduce("foo", inter["foo"], collect(out))
+	if out["foo"][0] != "doc-1,doc-2" {
+		t.Fatalf("inverted index = %q, want doc-1,doc-2", out["foo"][0])
+	}
+}
+
+func TestTermVectorMapReduce(t *testing.T) {
+	inter := map[string][]string{}
+	termVectorMap([]byte("doc-1\tfoo foo bar\ndoc-2\tfoo\n"), collect(inter))
+	if len(inter["foo"]) != 2 {
+		t.Fatalf("term vector postings = %v", inter["foo"])
+	}
+	out := map[string][]string{}
+	termVectorReduce("foo", inter["foo"], collect(out))
+	if out["foo"][0] != "doc-1:2" {
+		t.Fatalf("term vector best posting = %q, want doc-1:2", out["foo"][0])
+	}
+}
+
+func TestKMeansMapAssignsClusters(t *testing.T) {
+	inter := map[string][]string{}
+	kmeansMap([]byte("10,1,5,2005-01-01\n11,2,3,2005-01-02\n"), collect(inter))
+	total := 0
+	for k, vs := range inter {
+		if !strings.HasPrefix(k, "cluster-") {
+			t.Fatalf("unexpected key %q", k)
+		}
+		total += len(vs)
+	}
+	if total != 2 {
+		t.Fatalf("assigned %d records, want 2", total)
+	}
+}
+
+func TestHistogramMaps(t *testing.T) {
+	inter := map[string][]string{}
+	histogramRatingsMap([]byte("10,1,5,2005-01-01\n11,2,5,2005-01-02\n12,3,1,2005-01-03\n"), collect(inter))
+	if len(inter["rating-5"]) != 2 || len(inter["rating-1"]) != 1 {
+		t.Fatalf("histogram ratings = %v", inter)
+	}
+	inter2 := map[string][]string{}
+	histogramMoviesMap([]byte("10,1,4,2005-01-01\n10,2,2,2005-01-02\n"), collect(inter2))
+	out := map[string][]string{}
+	meanReduce("movie-10", inter2["movie-10"], collect(out))
+	if out["movie-10"][0] != "3.000" {
+		t.Fatalf("movie mean = %q, want 3.000", out["movie-10"][0])
+	}
+}
+
+func TestTeraSortMapIdentityReduce(t *testing.T) {
+	inter := map[string][]string{}
+	teraSortMap([]byte("AAAA111111\tpayload\nBBBB222222\tother\n"), collect(inter))
+	if len(inter) != 2 {
+		t.Fatalf("terasort keys = %v", inter)
+	}
+	out := map[string][]string{}
+	identityReduce("AAAA111111", inter["AAAA111111"], collect(out))
+	if out["AAAA111111"][0] != "payload" {
+		t.Fatalf("identity reduce = %v", out)
+	}
+}
+
+func TestMalformedInputIsSkipped(t *testing.T) {
+	// None of the mappers may panic or emit garbage on malformed lines.
+	bad := []byte("no-tabs-here\n,,,,\n\n12,abc,xyz,\n")
+	for name, m := range Mappers {
+		inter := map[string][]string{}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s mapper panicked on malformed input: %v", name, r)
+				}
+			}()
+			m(bad, collect(inter))
+		}()
+	}
+}
+
+func TestMappersOverGeneratedData(t *testing.T) {
+	// Smoke-run each mapper over its real generated dataset.
+	wiki := datagen.Wikipedia(1<<15, 1)
+	netflix := datagen.Netflix(1<<15, 1)
+	tera := datagen.TeraGen(1<<15, 1)
+	inputs := map[string][]byte{"wikipedia": wiki, "netflix": netflix, "teragen": tera}
+	for _, b := range All {
+		p, _ := GetProfile(b)
+		inter := map[string][]string{}
+		Mappers[b](inputs[p.Dataset], collect(inter))
+		if len(inter) == 0 {
+			t.Errorf("%s produced no intermediate pairs from %s data", b, p.Dataset)
+		}
+	}
+}
+
+func TestMeanReduceSkipsGarbage(t *testing.T) {
+	out := map[string][]string{}
+	meanReduce("k", []string{"2", "junk", "4"}, collect(out))
+	if out["k"][0] != "3.000" {
+		t.Fatalf("mean with garbage = %v", out)
+	}
+	out2 := map[string][]string{}
+	meanReduce("k", []string{"junk"}, collect(out2))
+	if len(out2) != 0 {
+		t.Fatal("all-garbage mean emitted a value")
+	}
+}
+
+func TestSumReduceTreatsGarbageAsOne(t *testing.T) {
+	out := map[string][]string{}
+	sumReduce("k", []string{"2", "x", "3"}, collect(out))
+	n, _ := strconv.Atoi(out["k"][0])
+	if n != 6 {
+		t.Fatalf("sum = %d, want 6 (2 + 1 + 3)", n)
+	}
+}
+
+func TestShortLabelsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range All {
+		s := b.Short()
+		if seen[s] {
+			t.Fatalf("duplicate short label %q", s)
+		}
+		seen[s] = true
+	}
+	labels := make([]string, 0, len(seen))
+	for s := range seen {
+		labels = append(labels, s)
+	}
+	sort.Strings(labels)
+	want := []string{"GR", "HM", "HR", "II", "KM", "TS", "TV", "WC"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}

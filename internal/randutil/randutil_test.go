@@ -1,0 +1,95 @@
+package randutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIsPure(t *testing.T) {
+	parent := New(7)
+	// Consume state from parent; split must not be affected.
+	parent.Int63()
+	parent.Int63()
+	x := parent.Split("dfs").Int63()
+
+	fresh := New(7)
+	y := fresh.Split("dfs").Int63()
+	if x != y {
+		t.Fatal("Split depends on parent consumption state")
+	}
+}
+
+func TestSplitLabelsIndependent(t *testing.T) {
+	p := New(7)
+	if p.Split("a").Int63() == p.Split("b").Int63() {
+		t.Fatal("different labels produced identical first values")
+	}
+}
+
+func TestPickN(t *testing.T) {
+	s := New(3)
+	got := s.PickN(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("PickN returned %d values, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("PickN value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("PickN returned duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPickNPanicsWhenKTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PickN(2,3) did not panic")
+		}
+	}()
+	New(1).PickN(2, 3)
+}
+
+func TestJitterBounds(t *testing.T) {
+	s := New(9)
+	f := func(raw uint8) bool {
+		v := 10.0
+		frac := float64(raw%50) / 100 // 0..0.49
+		got := s.Jitter(v, frac)
+		return got >= v*(1-frac)-1e-9 && got <= v*(1+frac)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if New(123).Seed() != 123 {
+		t.Fatal("Seed() mismatch")
+	}
+}

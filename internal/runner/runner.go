@@ -1,0 +1,225 @@
+// Package runner wires one complete simulated job run: cluster, DFS,
+// ResourceManager, driver, and the selected ApplicationMaster. The public
+// flexmap package re-exports it; internal experiment harnesses use it
+// directly.
+package runner
+
+import (
+	"fmt"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/core"
+	"flexmap/internal/dfs"
+	"flexmap/internal/engine"
+	"flexmap/internal/mr"
+	"flexmap/internal/randutil"
+	"flexmap/internal/sim"
+	"flexmap/internal/skewtune"
+	"flexmap/internal/speculate"
+	"flexmap/internal/yarn"
+)
+
+// MB and GB are size units in bytes.
+const (
+	MB int64 = 1024 * 1024
+	GB int64 = 1024 * MB
+)
+
+// EngineKind selects a map-execution engine.
+type EngineKind string
+
+// The four engines the paper evaluates.
+const (
+	Hadoop       EngineKind = "hadoop"
+	HadoopNoSpec EngineKind = "hadoop-nospec"
+	SkewTune     EngineKind = "skewtune"
+	FlexMap      EngineKind = "flexmap"
+)
+
+// Engine selects an engine plus its parameters.
+type Engine struct {
+	Kind EngineKind
+	// SplitMB is the HDFS block size for Hadoop/SkewTune (64 or 128;
+	// default 64). Ignored by FlexMap, which sizes tasks dynamically.
+	SplitMB int
+	// FlexAblation disables one FlexMap mechanism for the design-choice
+	// studies: "no-vertical", "no-horizontal", "no-bias" or "no-spec".
+	// Empty runs the full system. Ignored by the other engines.
+	FlexAblation string
+}
+
+// String names the engine the way the paper's figure legends do.
+func (e Engine) String() string {
+	if e.Kind == FlexMap {
+		if e.FlexAblation != "" {
+			return fmt.Sprintf("%s[%s]", FlexMap, e.FlexAblation)
+		}
+		return string(FlexMap)
+	}
+	split := e.SplitMB
+	if split == 0 {
+		split = 64
+	}
+	return fmt.Sprintf("%s-%dm", e.Kind, split)
+}
+
+// ClusterFactory builds a fresh cluster (and optional interference
+// process) for each run, so every engine sees identical conditions.
+type ClusterFactory func() (*cluster.Cluster, cluster.Interferer)
+
+// DefaultNoiseSigma is the default lognormal sigma of per-task runtime
+// noise, calibrated so same-size map runtimes spread roughly as the
+// paper's Fig. 1(a) histogram.
+const DefaultNoiseSigma = 0.25
+
+// Scenario describes the fixed conditions of a comparison: cluster, data
+// placement seed, input. Running the same scenario under different
+// engines is an apples-to-apples comparison — placement, interference,
+// and all stochastic choices derive from Seed.
+type Scenario struct {
+	Name    string
+	Cluster ClusterFactory
+	Seed    int64
+
+	// Replication is the HDFS replication factor (default 3).
+	Replication int
+	// Cost overrides the calibrated cost model when non-zero.
+	Cost engine.CostModel
+
+	// InputSize creates a modeled input file of this many bytes.
+	// InputData, when non-nil, creates a real file instead, enabling live
+	// map/reduce execution with verifiable output.
+	InputSize int64
+	InputData []byte
+
+	// NoiseSigma is the lognormal sigma of per-task runtime noise
+	// (0 = DefaultNoiseSigma; negative disables noise).
+	NoiseSigma float64
+
+	// SkewSigma, when positive, assigns every stored block unit a
+	// lognormal processing-cost weight (mean 1) — computational data
+	// skew, the phenomenon SkewTune targets.
+	SkewSigma float64
+
+	// MaxSimTime bounds the virtual clock (guard against scheduling
+	// bugs); default 30 days.
+	MaxSimTime sim.Time
+}
+
+// Result bundles the job result with engine-specific traces.
+type Result struct {
+	*mr.JobResult
+	// SizeTrace is FlexMap's dispatched task sizes (nil for others).
+	SizeTrace []core.SizeSample
+	// Cluster is the post-run cluster (for inspecting node state).
+	Cluster *cluster.Cluster
+}
+
+// Run executes one job under one engine and returns its result.
+func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
+	if sc.Cluster == nil {
+		return nil, fmt.Errorf("runner: scenario %q has no cluster factory", sc.Name)
+	}
+	if sc.InputSize <= 0 && sc.InputData == nil {
+		return nil, fmt.Errorf("runner: scenario %q has no input", sc.Name)
+	}
+
+	simEng := sim.New()
+	clus, interferer := sc.Cluster()
+	rng := randutil.New(sc.Seed)
+
+	store := dfs.NewStore(clus, sc.Replication, rng.Split("placement"))
+	var err error
+	if sc.InputData != nil {
+		_, err = store.AddFileWithData(spec.InputFile, sc.InputData)
+	} else {
+		_, err = store.AddFile(spec.InputFile, sc.InputSize)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sc.SkewSigma > 0 {
+		store.ApplySkew(rng.Split("data-skew"), sc.SkewSigma)
+	}
+
+	cost := sc.Cost
+	if cost == (engine.CostModel{}) {
+		cost = engine.DefaultCostModel()
+	}
+	rm := yarn.NewRM(simEng, clus)
+	driver, err := engine.NewDriver(simEng, clus, store, rm, cost, spec)
+	if err != nil {
+		return nil, err
+	}
+	driver.Noise = rng.Split("runtime-noise")
+	driver.NoiseSigma = sc.NoiseSigma
+	if sc.NoiseSigma == 0 {
+		driver.NoiseSigma = DefaultNoiseSigma
+	}
+	if interferer != nil {
+		interferer.Start(simEng)
+		driver.OnFinished(interferer.Stop)
+	}
+
+	splitBUs := 8
+	if eng.SplitMB != 0 {
+		if int64(eng.SplitMB)*MB%dfs.BUSize != 0 {
+			return nil, fmt.Errorf("runner: split size %d MB is not a multiple of the 8 MB block unit", eng.SplitMB)
+		}
+		splitBUs = int(int64(eng.SplitMB) * MB / dfs.BUSize)
+	}
+
+	var flexAM *core.AM
+	switch eng.Kind {
+	case Hadoop:
+		_, err = engine.NewStockAM(driver, splitBUs, speculate.NewLATE())
+	case HadoopNoSpec:
+		_, err = engine.NewStockAM(driver, splitBUs, nil)
+	case SkewTune:
+		_, err = skewtune.New(driver, splitBUs)
+	case FlexMap:
+		flexAM, err = core.NewAM(driver, rng.Split("flexmap"))
+		if flexAM != nil {
+			flexAM.Speculation = speculate.NewLATE()
+			switch eng.FlexAblation {
+			case "":
+			case "no-vertical":
+				flexAM.NoVertical = true
+			case "no-horizontal":
+				flexAM.NoHorizontal = true
+			case "no-bias":
+				flexAM.NoReduceBias = true
+			case "no-spec":
+				flexAM.Speculation = nil
+			default:
+				err = fmt.Errorf("runner: unknown FlexMap ablation %q", eng.FlexAblation)
+			}
+		}
+	default:
+		err = fmt.Errorf("runner: unknown engine kind %q", eng.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The engine label is authoritative here: StockAM names itself
+	// "hadoop-<split>m" whether or not speculation is enabled, which
+	// would collide in comparisons that include the no-spec ablation.
+	driver.Result.Engine = eng.String()
+
+	rm.Start()
+	deadline := sc.MaxSimTime
+	if deadline == 0 {
+		deadline = 30 * 24 * 3600
+	}
+	simEng.RunUntil(deadline)
+	if !driver.Finished() {
+		return nil, fmt.Errorf("runner: job %q under %s did not finish by t=%v (scheduler hang?)",
+			spec.Name, eng, deadline)
+	}
+
+	out := &Result{JobResult: driver.Result, Cluster: clus}
+	if flexAM != nil {
+		out.SizeTrace = flexAM.SizeTrace
+	}
+	return out, nil
+}

@@ -1,0 +1,382 @@
+package runner
+
+import (
+	"testing"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/datagen"
+	"flexmap/internal/dfs"
+	"flexmap/internal/mr"
+	"flexmap/internal/puma"
+	"flexmap/internal/sim"
+)
+
+func homoFactory(n int) ClusterFactory {
+	return func() (*cluster.Cluster, cluster.Interferer) {
+		return cluster.HomogeneousPaper(n), nil
+	}
+}
+
+func hetFactory() (*cluster.Cluster, cluster.Interferer) {
+	return cluster.Heterogeneous6(), nil
+}
+
+func smallScenario(factory ClusterFactory) Scenario {
+	return Scenario{
+		Name:      "test",
+		Cluster:   factory,
+		Seed:      3,
+		InputSize: 64 * dfs.BUSize,
+	}
+}
+
+func wcSpec(t *testing.T, reducers int) mr.JobSpec {
+	t.Helper()
+	s, err := puma.Spec(puma.WordCount, "input", reducers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAllEnginesFinish(t *testing.T) {
+	engines := []Engine{
+		{Kind: Hadoop, SplitMB: 64},
+		{Kind: Hadoop, SplitMB: 128},
+		{Kind: HadoopNoSpec, SplitMB: 64},
+		{Kind: SkewTune, SplitMB: 64},
+		{Kind: FlexMap},
+	}
+	for _, eng := range engines {
+		res, err := Run(smallScenario(hetFactory), wcSpec(t, 4), eng)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if res.JCT() <= 0 {
+			t.Fatalf("%s: non-positive JCT", eng)
+		}
+		// BU exactly-once invariant holds for every engine.
+		total := 0
+		for _, a := range res.MapAttempts() {
+			total += a.BUs
+		}
+		if total != 64 {
+			t.Fatalf("%s: successful attempts cover %d BUs, want 64", eng, total)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	spec := wcSpec(t, 2)
+	cases := []struct {
+		name string
+		sc   Scenario
+		eng  Engine
+	}{
+		{"no cluster", Scenario{InputSize: 1}, Engine{Kind: Hadoop}},
+		{"no input", Scenario{Cluster: hetFactory}, Engine{Kind: Hadoop}},
+		{"bad split", smallScenario(hetFactory), Engine{Kind: Hadoop, SplitMB: 12}},
+		{"unknown engine", smallScenario(hetFactory), Engine{Kind: "mystery"}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.sc, spec, tc.eng); err == nil {
+			t.Errorf("%s: Run succeeded, want error", tc.name)
+		}
+	}
+	// Invalid job spec.
+	bad := spec
+	bad.MapCost = 0
+	if _, err := Run(smallScenario(hetFactory), bad, Engine{Kind: Hadoop}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	cases := map[string]Engine{
+		"hadoop-64m":        {Kind: Hadoop},
+		"hadoop-128m":       {Kind: Hadoop, SplitMB: 128},
+		"hadoop-nospec-64m": {Kind: HadoopNoSpec, SplitMB: 64},
+		"skewtune-64m":      {Kind: SkewTune, SplitMB: 64},
+		"flexmap":           {Kind: FlexMap, SplitMB: 999}, // split ignored
+	}
+	for want, eng := range cases {
+		if got := eng.String(); got != want {
+			t.Errorf("Engine%+v.String() = %q, want %q", eng, got, want)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	sc := smallScenario(hetFactory)
+	run := func() float64 {
+		res, err := Run(sc, wcSpec(t, 4), Engine{Kind: FlexMap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.JCT())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	sc2 := sc
+	sc2.Seed = 99
+	res, err := Run(sc2, wcSpec(t, 4), Engine{Kind: FlexMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.JCT()) == run() {
+		t.Log("note: different seeds produced identical JCT (possible but unlikely)")
+	}
+}
+
+func TestNoiseToggle(t *testing.T) {
+	sc := smallScenario(homoFactory(4))
+	sc.NoiseSigma = -1 // disabled
+	res, err := Run(sc, wcSpec(t, 0), Engine{Kind: HadoopNoSpec, SplitMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without noise, all same-size local tasks on a uniform cluster have
+	// identical runtimes.
+	first := res.MapAttempts()[0].Runtime()
+	for _, a := range res.MapAttempts() {
+		if a.Runtime() != first {
+			t.Fatalf("noise-free runtimes differ: %v vs %v", a.Runtime(), first)
+		}
+	}
+
+	sc.NoiseSigma = 0.3
+	res2, err := Run(sc, wcSpec(t, 0), Engine{Kind: HadoopNoSpec, SplitMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	first2 := res2.MapAttempts()[0].Runtime()
+	for _, a := range res2.MapAttempts() {
+		if a.Runtime() != first2 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("noise enabled but runtimes identical")
+	}
+}
+
+func TestLiveExecutionIdenticalAcrossEngines(t *testing.T) {
+	data := datagen.Wikipedia(int(3*dfs.BUSize), 11)
+	sc := Scenario{
+		Name:      "live",
+		Cluster:   hetFactory,
+		Seed:      11,
+		InputData: data,
+	}
+	spec, err := puma.Spec(puma.WordCount, "input", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outputs []map[string]string
+	for _, eng := range []Engine{
+		{Kind: Hadoop, SplitMB: 64},
+		{Kind: HadoopNoSpec, SplitMB: 64},
+		{Kind: SkewTune, SplitMB: 64},
+		{Kind: FlexMap},
+	} {
+		res, err := Run(sc, spec, eng)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if len(res.Output) == 0 {
+			t.Fatalf("%s: live run produced no output", eng)
+		}
+		outputs = append(outputs, res.Output)
+	}
+	base := outputs[0]
+	for i, out := range outputs[1:] {
+		if len(out) != len(base) {
+			t.Fatalf("engine %d output size %d != %d", i+1, len(out), len(base))
+		}
+		for k, v := range base {
+			if out[k] != v {
+				t.Fatalf("engine %d disagrees on %q: %q vs %q", i+1, k, out[k], v)
+			}
+		}
+	}
+}
+
+func TestFlexMapSizeTracePopulated(t *testing.T) {
+	res, err := Run(smallScenario(hetFactory), wcSpec(t, 2), Engine{Kind: FlexMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SizeTrace) == 0 {
+		t.Fatal("FlexMap run has no size trace")
+	}
+	stock, err := Run(smallScenario(hetFactory), wcSpec(t, 2), Engine{Kind: Hadoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stock.SizeTrace != nil {
+		t.Fatal("stock run unexpectedly has a size trace")
+	}
+}
+
+func TestVirtualClusterInterferenceStops(t *testing.T) {
+	// The interference ticker must stop with the job or the run would hit
+	// the scheduler-hang deadline.
+	sc := Scenario{
+		Name: "virt",
+		Cluster: func() (*cluster.Cluster, cluster.Interferer) {
+			c, inf := cluster.Virtual20(5)
+			return c, inf
+		},
+		Seed:      5,
+		InputSize: 128 * dfs.BUSize,
+	}
+	res, err := Run(sc, wcSpec(t, 8), Engine{Kind: FlexMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JCT() <= 0 {
+		t.Fatal("bad JCT")
+	}
+}
+
+func TestFlexAblationVariants(t *testing.T) {
+	sc := smallScenario(hetFactory)
+	spec := wcSpec(t, 4)
+	jcts := map[string]float64{}
+	for _, variant := range []string{"", "no-vertical", "no-horizontal", "no-bias", "no-spec"} {
+		res, err := Run(sc, spec, Engine{Kind: FlexMap, FlexAblation: variant})
+		if err != nil {
+			t.Fatalf("%q: %v", variant, err)
+		}
+		jcts[variant] = float64(res.JCT())
+		// Exactly-once invariant holds under every ablation.
+		total := 0
+		for _, a := range res.MapAttempts() {
+			total += a.BUs
+		}
+		if total != 64 {
+			t.Fatalf("%q: covered %d BUs, want 64", variant, total)
+		}
+	}
+	// no-vertical keeps every size unit at 1 BU: many more tasks, slower.
+	if jcts["no-vertical"] <= jcts[""] {
+		t.Errorf("no-vertical (%.1f) should be slower than full (%.1f)", jcts["no-vertical"], jcts[""])
+	}
+}
+
+func TestFlexAblationUnknownRejected(t *testing.T) {
+	_, err := Run(smallScenario(hetFactory), wcSpec(t, 2),
+		Engine{Kind: FlexMap, FlexAblation: "no-such-mechanism"})
+	if err == nil {
+		t.Fatal("unknown ablation accepted")
+	}
+}
+
+func TestFlexAblationEngineNames(t *testing.T) {
+	e := Engine{Kind: FlexMap, FlexAblation: "no-bias"}
+	if e.String() != "flexmap[no-bias]" {
+		t.Fatalf("String() = %q", e.String())
+	}
+}
+
+func TestMaxSimTimeDeadlineErrors(t *testing.T) {
+	sc := smallScenario(hetFactory)
+	sc.MaxSimTime = 1 // far too short for any job
+	if _, err := Run(sc, wcSpec(t, 2), Engine{Kind: Hadoop}); err == nil {
+		t.Fatal("deadline-exceeded run reported success")
+	}
+}
+
+func TestInterferenceMidReduceDoesNotDeadlock(t *testing.T) {
+	// A node collapsing during the reduce phase must re-plan the running
+	// reduce work, not strand it.
+	collapsing := func() (*cluster.Cluster, cluster.Interferer) {
+		c := cluster.HomogeneousPaper(3)
+		return c, &midJobCollapse{c: c}
+	}
+	sc := Scenario{Name: "collapse", Cluster: collapsing, Seed: 4, InputSize: 48 * dfs.BUSize}
+	res, err := Run(sc, wcSpec(t, 3), Engine{Kind: HadoopNoSpec, SplitMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finished <= res.MapPhaseEnd {
+		t.Fatal("reduce phase missing")
+	}
+}
+
+// midJobCollapse slows node 0 to 10% at t=30 (mid-reduce for this job).
+type midJobCollapse struct{ c *cluster.Cluster }
+
+func (m *midJobCollapse) Start(eng *sim.Engine) {
+	eng.At(30, "collapse", func() { m.c.Node(0).SetInterference(0.1) })
+}
+func (m *midJobCollapse) Stop() {}
+
+func TestReplicationOneStillExactlyOnce(t *testing.T) {
+	sc := smallScenario(hetFactory)
+	sc.Replication = 1
+	for _, eng := range []Engine{{Kind: Hadoop, SplitMB: 64}, {Kind: FlexMap}} {
+		res, err := Run(sc, wcSpec(t, 2), eng)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		total := 0
+		for _, a := range res.MapAttempts() {
+			total += a.BUs
+		}
+		if total != 64 {
+			t.Fatalf("%s: covered %d BUs with replication 1", eng, total)
+		}
+	}
+}
+
+func TestTinyInputSingleBU(t *testing.T) {
+	sc := smallScenario(hetFactory)
+	sc.InputSize = 1 // one partial BU
+	for _, eng := range []Engine{{Kind: Hadoop, SplitMB: 64}, {Kind: SkewTune, SplitMB: 64}, {Kind: FlexMap}} {
+		res, err := Run(sc, wcSpec(t, 1), eng)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if len(res.MapAttempts()) != 1 {
+			t.Fatalf("%s: %d map attempts for a 1-byte file", eng, len(res.MapAttempts()))
+		}
+	}
+}
+
+func TestSkewSigmaSlowsHotTasks(t *testing.T) {
+	sc := smallScenario(homoFactory(4))
+	sc.NoiseSigma = -1
+	uniform, err := Run(sc, wcSpec(t, 0), Engine{Kind: HadoopNoSpec, SplitMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.SkewSigma = 0.8
+	skewed, err := Run(sc, wcSpec(t, 0), Engine{Kind: HadoopNoSpec, SplitMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same total work in expectation, but the hot-task tail must create
+	// runtime spread that uniform data does not have.
+	spread := func(r *Result) float64 {
+		min, max := 1e18, 0.0
+		for _, a := range r.MapAttempts() {
+			rt := float64(a.Runtime())
+			if rt < min {
+				min = rt
+			}
+			if rt > max {
+				max = rt
+			}
+		}
+		return max / min
+	}
+	if spread(uniform) != 1.0 {
+		t.Fatalf("uniform noise-free spread = %v, want exactly 1", spread(uniform))
+	}
+	if spread(skewed) < 1.5 {
+		t.Fatalf("skewed spread = %v, want ≥ 1.5", spread(skewed))
+	}
+}

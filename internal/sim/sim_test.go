@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var e Engine
+	ran := false
+	e.At(5, "x", func() { ran = true })
+	if got := e.Run(); got != 5 {
+		t.Fatalf("Run returned %v, want 5", got)
+	}
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []Time
+	for _, at := range []Time{9, 3, 7, 1, 5} {
+		at := at
+		e.At(at, "evt", func() { order = append(order, at) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(order, func(i, j int) bool { return order[i] < order[j] }) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+}
+
+func TestFIFOTieBreaking(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(4, "tie", func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	e := New()
+	var firedAt Time
+	e.At(10, "outer", func() {
+		e.After(5, "inner", func() { firedAt = e.Now() })
+	})
+	e.Run()
+	if firedAt != 15 {
+		t.Fatalf("inner fired at %v, want 15", firedAt)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, "past", func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-1, "neg", func() {})
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(3, "c", func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := New()
+	ev := e.At(3, "c", func() {})
+	e.Cancel(ev)
+	e.Cancel(ev) // must not panic
+	e.Cancel(nil)
+	e.Run()
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	e := New()
+	var later *Event
+	fired := false
+	e.At(1, "first", func() { e.Cancel(later) })
+	later = e.At(2, "second", func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event canceled mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.At(at, "evt", func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock at %v, want 3", e.Now())
+	}
+	e.Run()
+	if len(fired) != 5 {
+		t.Fatalf("resume fired %d total, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockPastLastEvent(t *testing.T) {
+	e := New()
+	e.At(1, "only", func() {})
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock at %v, want 100", e.Now())
+	}
+}
+
+func TestStopHaltsEngine(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), "evt", func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("fired %d events after Stop, want 4", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), "evt", func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+func TestTickerPeriodAndStop(t *testing.T) {
+	e := New()
+	var ticks []Time
+	var tk *Ticker
+	tk = NewTicker(e, 5, "hb", func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	want := []Time{5, 10, 15}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero ticker period did not panic")
+		}
+	}()
+	NewTicker(New(), 0, "bad", func(Time) {})
+}
+
+// Property: for any random batch of events, firing order is sorted by
+// (time, insertion order) and every non-canceled event fires exactly once.
+func TestPropertyOrderingAndCompleteness(t *testing.T) {
+	f := func(times []uint16, seed int64) bool {
+		if len(times) > 512 {
+			times = times[:512]
+		}
+		e := New()
+		rng := rand.New(rand.NewSource(seed))
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		canceled := map[int]bool{}
+		events := make([]*Event, len(times))
+		for i, raw := range times {
+			i, at := i, Time(raw%1000)
+			events[i] = e.At(at, "p", func() { fired = append(fired, rec{at, i}) })
+		}
+		// Cancel a random subset up-front.
+		for i := range events {
+			if rng.Intn(4) == 0 {
+				e.Cancel(events[i])
+				canceled[i] = true
+			}
+		}
+		e.Run()
+		if len(fired)+len(canceled) != len(times) {
+			return false
+		}
+		for k := 1; k < len(fired); k++ {
+			a, b := fired[k-1], fired[k]
+			if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+				return false
+			}
+		}
+		seen := map[int]bool{}
+		for _, r := range fired {
+			if seen[r.seq] || canceled[r.seq] {
+				return false
+			}
+			seen[r.seq] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package skewtune implements the SkewTune baseline (Kwon et al., SIGMOD
+// 2012) the paper compares against: when a node becomes idle and no
+// pending work exists, the straggler with the longest expected remaining
+// time is stopped and its unprocessed input is repartitioned across the
+// idle capacity.
+//
+// Crucially — and this is the weakness the paper exploits — SkewTune
+// assumes all nodes have equal processing capability: repartitioned
+// chunks are sized evenly, so a chunk landing back on a slow node lags
+// again, and repartitioning itself costs a data scan-and-move charged
+// here as re-fetched bytes.
+package skewtune
+
+import (
+	"fmt"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/dfs"
+	"flexmap/internal/engine"
+	"flexmap/internal/mr"
+	"flexmap/internal/sim"
+)
+
+// AM wraps the stock ApplicationMaster with SkewTune's stop-and-
+// repartition mitigation. Speculation is disabled: repartitioning is
+// SkewTune's replacement for it.
+type AM struct {
+	// MinRemaining is the smallest estimated remaining time worth
+	// repartitioning (SkewTune's "is it worth it" test: the straggler's
+	// remaining work must dwarf the cost of planning, moving its data
+	// and restarting it elsewhere; default 4× the task startup overhead
+	// plus two seconds of planning).
+	MinRemaining sim.Duration
+	// MinBUs is the smallest remainder worth splitting (default 2).
+	MinBUs int
+
+	stock  *engine.StockAM
+	d      *engine.Driver
+	rounds map[string]int // task → repartition round counter
+}
+
+// New builds a SkewTune AM over fixed splits of splitBUs block units and
+// registers it with the driver's RM.
+func New(d *engine.Driver, splitBUs int) (*AM, error) {
+	stock, err := engine.NewStockAM(d, splitBUs, nil)
+	if err != nil {
+		return nil, err
+	}
+	am := &AM{
+		MinRemaining: 4*d.Cost.Overhead() + 2,
+		MinBUs:       2,
+		stock:        stock,
+		d:            d,
+		rounds:       make(map[string]int),
+	}
+	stock.Name = fmt.Sprintf("skewtune-%dm", int64(splitBUs)*dfs.BUSize/engine.MB)
+	d.Result.Engine = stock.Name
+	d.RM.SetScheduler(am) // shadow the stock AM's registration
+	return am, nil
+}
+
+// Stock returns the wrapped stock AM.
+func (am *AM) Stock() *engine.StockAM { return am.stock }
+
+// OnSlotFree implements yarn.Scheduler: normal dispatch first, then skew
+// mitigation on idle capacity.
+func (am *AM) OnSlotFree(node *cluster.Node) bool {
+	if am.stock.TryDispatch(node) {
+		return true
+	}
+	if am.d.MapsFinished() {
+		return false
+	}
+	if am.stock.PendingCount() > 0 {
+		// Pending work exists but was declined (locality wait); don't
+		// repartition while originals are still queued.
+		return false
+	}
+	if !am.repartition(node) {
+		return false
+	}
+	// Newly minted subtasks are pending now; dispatch one here.
+	return am.stock.TryDispatch(node)
+}
+
+// repartition picks the worst straggler, stops it, and re-queues its
+// unprocessed BUs as evenly-sized subtasks — evenly because SkewTune
+// assumes homogeneous workers. It reports whether a repartition happened.
+func (am *AM) repartition(node *cluster.Node) bool {
+	now := am.d.Eng.Now()
+	var victim *engine.MapAttempt
+	var worst sim.Duration = -1
+	for _, a := range am.d.AllRunningMaps() {
+		_, rem := a.SplitBUs(now)
+		if len(rem) < am.MinBUs {
+			continue
+		}
+		if r := a.EstRemaining(now); r > worst {
+			worst, victim = r, a
+		}
+	}
+	if victim == nil || worst < am.MinRemaining {
+		return false
+	}
+	done, rem := victim.SplitBUs(now)
+	task := victim.Task
+	start := victim.Start
+
+	am.stock.KillTaskAttempts(task)
+
+	// The fully-processed prefix is preserved: SkewTune keeps partial map
+	// output. Publish its shuffle output and record it as a successful
+	// partial attempt so every BU stays covered exactly once.
+	if len(done) > 0 {
+		var doneBytes int64
+		for _, id := range done {
+			doneBytes += am.d.Store.Block(id).Size
+		}
+		am.d.CommitOutputForBUs(victim.Node.ID, done)
+		runtime := sim.Duration(now - start)
+		eff := runtime - am.d.Cost.Overhead()
+		if eff < 0 {
+			eff = 0
+		}
+		am.d.RecordAttempt(mr.AttemptRecord{
+			Task:      task + ".prefix",
+			Type:      mr.MapTask,
+			Node:      victim.Node.ID,
+			Start:     start,
+			End:       now,
+			Overhead:  am.d.Cost.Overhead(),
+			Effective: eff,
+			Bytes:     doneBytes,
+			BUs:       len(done),
+			LocalBUs:  len(done), // prefix was read wherever the task ran
+			Wave:      0,
+		})
+	}
+
+	// Split the remainder evenly across idle slots (incl. the offering
+	// slot, whose capacity is still uncommitted).
+	idle := am.d.RM.TotalFree()
+	parts := idle
+	if parts > len(rem) {
+		parts = len(rem)
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	am.rounds[task]++
+	round := am.rounds[task]
+	var moved int64
+	for i := 0; i < parts; i++ {
+		lo := i * len(rem) / parts
+		hi := (i + 1) * len(rem) / parts
+		chunk := rem[lo:hi]
+		var bytes int64
+		for _, id := range chunk {
+			bytes += am.d.Store.Block(id).Size
+		}
+		moved += bytes
+		delta := 1
+		if i == 0 {
+			delta = 0 // first subtask replaces the stopped original
+		}
+		am.stock.AddPending(engine.PendingSplit{
+			Task:            fmt.Sprintf("%s.r%d.%d", task, round, i),
+			BUs:             chunk,
+			Hosts:           nil, // repartitioned data: no locality claim
+			ExtraFetchBytes: bytes,
+		}, delta)
+	}
+	am.d.Result.RepartitionBytes += moved
+	return true
+}

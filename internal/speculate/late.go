@@ -1,0 +1,156 @@
+// Package speculate implements the LATE (Longest Approximate Time to End)
+// speculative-execution policy of Zaharia et al. (OSDI 2008), which YARN's
+// stock speculator derives from and which the paper's "stock Hadoop"
+// baseline runs.
+//
+// LATE's rules, as realized here:
+//
+//   - Cap speculative copies at a fraction of cluster slots.
+//   - Never launch speculative work on a slow node (bottom quartile of
+//     node speeds) — a copy there would lose the race anyway.
+//   - Only speculate tasks whose progress rate is in the bottom quartile.
+//   - Among eligible stragglers, duplicate the one with the longest
+//     estimated time to completion.
+//   - One speculative copy per task, and only when no pending original
+//     work exists (the last-wave rule) — both enforced by the caller.
+package speculate
+
+import (
+	"sort"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/engine"
+	"flexmap/internal/sim"
+)
+
+// LATE is the policy. Zero-value fields are replaced by the canonical
+// defaults at first use.
+type LATE struct {
+	// SpecCapFraction bounds in-flight speculative copies to this
+	// fraction of total cluster slots (default 0.1).
+	SpecCapFraction float64
+	// SlowTaskPercentile: tasks with progress rates below this percentile
+	// are speculation candidates (default 0.25).
+	SlowTaskPercentile float64
+	// SlowNodePercentile: nodes with speed below this percentile never
+	// receive speculative copies (default 0.25).
+	SlowNodePercentile float64
+	// MinAge is the minimum attempt age before its progress rate is
+	// considered meaningful (default 3 s, covering startup overhead).
+	MinAge sim.Duration
+}
+
+// NewLATE returns a policy with the canonical defaults.
+func NewLATE() *LATE {
+	return &LATE{
+		SpecCapFraction:    0.10,
+		SlowTaskPercentile: 0.25,
+		SlowNodePercentile: 0.25,
+		MinAge:             3,
+	}
+}
+
+func (l *LATE) defaults() {
+	if l.SpecCapFraction == 0 {
+		l.SpecCapFraction = 0.10
+	}
+	if l.SlowTaskPercentile == 0 {
+		l.SlowTaskPercentile = 0.25
+	}
+	if l.SlowNodePercentile == 0 {
+		l.SlowNodePercentile = 0.25
+	}
+	if l.MinAge == 0 {
+		l.MinAge = 3
+	}
+}
+
+// Pick implements engine.SpeculationPolicy.
+func (l *LATE) Pick(d *engine.Driver, node *cluster.Node, candidates []*engine.MapAttempt, activeSpec int) *engine.MapAttempt {
+	l.defaults()
+	if len(candidates) == 0 {
+		return nil
+	}
+	cap := int(l.SpecCapFraction * float64(d.Cluster.TotalSlots()))
+	if cap < 1 {
+		cap = 1
+	}
+	if activeSpec >= cap {
+		return nil
+	}
+	if l.nodeIsSlow(d.Cluster, node) {
+		return nil
+	}
+	now := d.Eng.Now()
+
+	// Progress rates for mature attempts.
+	type scored struct {
+		a    *engine.MapAttempt
+		rate float64
+	}
+	var mature []scored
+	for _, a := range candidates {
+		age := sim.Duration(now - a.Start)
+		if age < l.MinAge {
+			continue
+		}
+		mature = append(mature, scored{a, a.Progress(now) / float64(age)})
+	}
+	if len(mature) == 0 {
+		return nil
+	}
+	sort.Slice(mature, func(i, j int) bool {
+		if mature[i].rate != mature[j].rate {
+			return mature[i].rate < mature[j].rate
+		}
+		return mature[i].a.Task < mature[j].a.Task
+	})
+	// Threshold rate at the slow-task percentile.
+	idx := int(l.SlowTaskPercentile * float64(len(mature)))
+	if idx >= len(mature) {
+		idx = len(mature) - 1
+	}
+	threshold := mature[idx].rate
+
+	// Among below-threshold tasks, pick the longest estimated time to end.
+	var victim *engine.MapAttempt
+	var worst sim.Duration = -1
+	for _, s := range mature {
+		if s.rate > threshold {
+			continue
+		}
+		if rem := s.a.EstRemaining(now); rem > worst || (rem == worst && victim != nil && s.a.Task < victim.Task) {
+			worst, victim = rem, s.a
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	// A copy is only worth launching if the idle node could beat the
+	// current attempt: compare estimated fresh runtime against the
+	// straggler's estimated remaining time.
+	fresh := sim.Duration(d.Cost.Overhead()) + d.Cost.MapEffective(victim.Bytes, d.Spec.MapCost, node.Speed())
+	if fresh >= worst {
+		return nil
+	}
+	return victim
+}
+
+// nodeIsSlow reports whether the node's speed falls in the bottom
+// percentile of cluster speeds. (LATE estimates node speed from observed
+// progress; the simulation uses the node's current effective speed as
+// that estimate.)
+func (l *LATE) nodeIsSlow(c *cluster.Cluster, node *cluster.Node) bool {
+	speeds := make([]float64, 0, c.Size())
+	for _, n := range c.Nodes {
+		speeds = append(speeds, n.Speed())
+	}
+	sort.Float64s(speeds)
+	idx := int(l.SlowNodePercentile * float64(len(speeds)))
+	if idx >= len(speeds) {
+		idx = len(speeds) - 1
+	}
+	// Strict comparison: nodes AT the percentile speed (e.g. the healthy
+	// majority of a mostly-uniform cluster) are not slow.
+	return node.Speed() < speeds[idx] && speeds[0] < speeds[len(speeds)-1]
+}

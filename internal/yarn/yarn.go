@@ -1,0 +1,172 @@
+// Package yarn models the YARN resource-management layer: per-node
+// container slots, a ResourceManager that offers free slots to the job's
+// ApplicationMaster, and container handles that release capacity back.
+//
+// The model follows YARN's CapacityScheduler behaviour: container
+// assignment is driven by NodeManager heartbeats, and at most one
+// container is assigned per node per heartbeat (the scheduler's default
+// assignMultiple=false). AssignDelay is that heartbeat period; it is real
+// dead time between tasks and part of why fine-grained tasks are
+// expensive. The AM either places a task on an offered slot or declines,
+// leaving the slot idle until Poke re-offers idle capacity — which AMs
+// call when new work appears (e.g. SkewTune mints repartitioned
+// subtasks).
+package yarn
+
+import (
+	"fmt"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/sim"
+)
+
+// Scheduler is the decision side of an ApplicationMaster. OnSlotFree must
+// return true if it placed work on the node (consuming one slot, to be
+// returned via Container.Release).
+type Scheduler interface {
+	OnSlotFree(node *cluster.Node) bool
+}
+
+// RM is the ResourceManager for one simulated job run.
+type RM struct {
+	// AssignDelay is the NodeManager heartbeat period: successive
+	// container grants on one node are at least this far apart, and a
+	// released slot is re-offered after this delay. Default 1 s.
+	AssignDelay sim.Duration
+
+	eng     *sim.Engine
+	cluster *cluster.Cluster
+	sched   Scheduler
+
+	free           map[cluster.NodeID]int
+	offerScheduled map[cluster.NodeID]bool
+	lastGrant      map[cluster.NodeID]sim.Time
+	granted        map[cluster.NodeID]bool
+	nextCID        int
+	started        bool
+}
+
+// NewRM creates a ResourceManager over the cluster with all slots free.
+func NewRM(eng *sim.Engine, c *cluster.Cluster) *RM {
+	rm := &RM{
+		AssignDelay:    1.0,
+		eng:            eng,
+		cluster:        c,
+		free:           make(map[cluster.NodeID]int, c.Size()),
+		offerScheduled: make(map[cluster.NodeID]bool, c.Size()),
+		lastGrant:      make(map[cluster.NodeID]sim.Time, c.Size()),
+		granted:        make(map[cluster.NodeID]bool, c.Size()),
+	}
+	for _, n := range c.Nodes {
+		rm.free[n.ID] = n.Slots
+	}
+	return rm
+}
+
+// SetScheduler registers the ApplicationMaster. Must be called before
+// Start.
+func (rm *RM) SetScheduler(s Scheduler) { rm.sched = s }
+
+// Start begins offering capacity: one immediate offer per node, with
+// subsequent grants paced by AssignDelay. It panics if no scheduler is
+// registered.
+func (rm *RM) Start() {
+	if rm.sched == nil {
+		panic("yarn: Start before SetScheduler")
+	}
+	rm.started = true
+	rm.Poke()
+}
+
+// FreeSlots returns the number of currently free slots on a node.
+func (rm *RM) FreeSlots(id cluster.NodeID) int { return rm.free[id] }
+
+// TotalFree returns the number of free slots cluster-wide.
+func (rm *RM) TotalFree() int {
+	total := 0
+	for _, v := range rm.free {
+		total += v
+	}
+	return total
+}
+
+// Poke re-offers idle capacity on every node immediately. AMs call it
+// when new schedulable work appears.
+func (rm *RM) Poke() {
+	if !rm.started {
+		return
+	}
+	for _, n := range rm.cluster.Nodes {
+		rm.offerNow(n)
+	}
+}
+
+// offerNow makes at most one offer on the node; if it is accepted and
+// capacity remains, the next offer is paced one heartbeat later. Grants
+// on one node are globally paced: no two grants land within AssignDelay,
+// no matter how often the AM pokes.
+func (rm *RM) offerNow(n *cluster.Node) {
+	if !rm.started || rm.free[n.ID] <= 0 {
+		return
+	}
+	now := rm.eng.Now()
+	if rm.granted[n.ID] {
+		if wait := rm.lastGrant[n.ID] + sim.Time(rm.AssignDelay) - now; wait > 0 {
+			rm.scheduleOffer(n.ID, sim.Duration(wait))
+			return
+		}
+	}
+	if rm.sched.OnSlotFree(n) && rm.free[n.ID] > 0 {
+		rm.scheduleOffer(n.ID, rm.AssignDelay)
+	}
+}
+
+// scheduleOffer arms a single delayed offer per node (no parallel chains).
+func (rm *RM) scheduleOffer(id cluster.NodeID, delay sim.Duration) {
+	if rm.offerScheduled[id] {
+		return
+	}
+	rm.offerScheduled[id] = true
+	rm.eng.After(delay, "nm-heartbeat", func() {
+		rm.offerScheduled[id] = false
+		rm.offerNow(rm.cluster.Node(id))
+	})
+}
+
+// Acquire consumes one slot on the node and returns its container handle.
+// Schedulers call it from inside OnSlotFree after deciding to place work.
+// It panics if the node has no free slot — the offer protocol guarantees
+// one exists.
+func (rm *RM) Acquire(n *cluster.Node) *Container {
+	if rm.free[n.ID] <= 0 {
+		panic(fmt.Sprintf("yarn: Acquire on node %d with no free slots", n.ID))
+	}
+	rm.free[n.ID]--
+	rm.lastGrant[n.ID] = rm.eng.Now()
+	rm.granted[n.ID] = true
+	rm.nextCID++
+	return &Container{ID: rm.nextCID, Node: n, rm: rm}
+}
+
+// Container is a granted slot on a node.
+type Container struct {
+	ID   int
+	Node *cluster.Node
+
+	rm       *RM
+	released bool
+}
+
+// Release returns the slot to the RM; it is re-offered at the node's next
+// heartbeat. Releasing twice panics: it would double-count capacity.
+func (c *Container) Release() {
+	if c.released {
+		panic(fmt.Sprintf("yarn: container %d released twice", c.ID))
+	}
+	c.released = true
+	c.rm.free[c.Node.ID]++
+	c.rm.scheduleOffer(c.Node.ID, c.rm.AssignDelay)
+}
+
+// Released reports whether the container has been released.
+func (c *Container) Released() bool { return c.released }
