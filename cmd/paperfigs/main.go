@@ -5,17 +5,22 @@
 // Usage:
 //
 //	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead]
-//	          [-seed N] [-scale N] [-bench WC,GR,...]
+//	          [-seed N] [-scale N] [-bench WC,GR,...] [-parallel N]
 //
-// -scale divides the paper's input sizes (1 = full scale). Each
-// experiment prints the series the corresponding paper figure plots.
+// -scale divides the paper's input sizes (1 = full scale). -parallel
+// bounds how many simulations run concurrently (0 = one per core,
+// 1 = serial); the printed figures are bit-for-bit identical at any
+// setting. Each experiment prints the series the corresponding paper
+// figure plots; total wall-clock goes to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"flexmap/internal/experiments"
 	"flexmap/internal/puma"
@@ -26,9 +31,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	scale := flag.Int64("scale", 1, "divide paper input sizes by this factor")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (short names, e.g. WC,GR)")
+	workers := flag.Int("parallel", 0, "concurrent simulations per experiment (0 = one per core, 1 = serial)")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Parallel: *workers}
 	if *benchList != "" {
 		short := map[string]puma.Benchmark{}
 		for _, b := range puma.All {
@@ -42,6 +48,15 @@ func main() {
 			cfg.Benchmarks = append(cfg.Benchmarks, b)
 		}
 	}
+
+	start := time.Now()
+	defer func() {
+		n := *workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "paperfigs: done in %v (%d workers)\n", time.Since(start).Round(time.Millisecond), n)
+	}()
 
 	run := func(name string, fn func() (string, error)) {
 		if *exp != "all" && *exp != name {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -129,6 +130,70 @@ func TestPropertySizeUnitMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property (Algorithm 1 invariants): for random speed vectors and random
+// feedback histories, horizontal scaling always satisfies the paper's
+// three structural guarantees —
+//
+//  1. every node's dispatched size m_i is at least 1 BU,
+//  2. m_i is monotone in speed_i (a faster node never gets a smaller
+//     task than a slower node in the same sizing state, and raising one
+//     node's relative speed never shrinks its task), and
+//  3. the slowest node (relative speed 1) gets exactly its size unit
+//     s_i — horizontal scaling never inflates the straggler's tasks.
+func TestPropertyAlgorithm1Invariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(10)
+		speeds := make([]float64, n)
+		slowest, slowIdx := 0.0, 0
+		for i := range speeds {
+			speeds[i] = 0.1 + 5*rng.Float64()
+			if i == 0 || speeds[i] < slowest {
+				slowest, slowIdx = speeds[i], i
+			}
+		}
+
+		s := NewSizer()
+		for k, steps := 0, rng.Intn(60); k < steps; k++ {
+			node := rng.Intn(n)
+			// Mix stale, current and oversized feedback at arbitrary
+			// productivities, as an out-of-order parallel wave would.
+			taskBUs := 1 + rng.Intn(2*s.SizeUnit(node))
+			s.ApplyFeedback(node, taskBUs, rng.Float64()*1.1)
+		}
+
+		for i := range speeds {
+			rel := speeds[i] / slowest
+			m := s.TaskSize(i, rel)
+			if m < 1 {
+				t.Fatalf("trial %d: node %d got %d BUs, want ≥ 1", trial, i, m)
+			}
+			if m > s.MaxBUs {
+				t.Fatalf("trial %d: node %d got %d BUs above cap %d", trial, i, m, s.MaxBUs)
+			}
+			// Monotone in this node's own relative speed.
+			if faster := s.TaskSize(i, rel*(1+rng.Float64())); faster < m {
+				t.Fatalf("trial %d: node %d task shrank from %d to %d when speed rose", trial, i, m, faster)
+			}
+			// Monotone across nodes in the same sizing state.
+			for j := range speeds {
+				if s.SizeUnit(j) == s.SizeUnit(i) && speeds[j] >= speeds[i] {
+					if mj := s.TaskSize(j, speeds[j]/slowest); mj < m {
+						t.Fatalf("trial %d: faster node %d (%.2f) got %d BUs, slower node %d (%.2f) got %d",
+							trial, j, speeds[j], mj, i, speeds[i], m)
+					}
+				}
+			}
+		}
+
+		// The slowest node gets exactly its size unit.
+		if m := s.TaskSize(slowIdx, 1.0); m != s.SizeUnit(slowIdx) {
+			t.Fatalf("trial %d: slowest node got %d BUs, want its size unit %d",
+				trial, m, s.SizeUnit(slowIdx))
+		}
 	}
 }
 

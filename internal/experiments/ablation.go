@@ -77,28 +77,36 @@ func Ablation(cfg Config) (*AblationResult, error) {
 		JCT:         map[string]map[string]float64{},
 		LossPercent: map[string]map[string]float64{},
 	}
+	var jobs []simJob
 	for _, scen := range scenarios {
-		out.Scenarios = append(out.Scenarios, scen.name)
-		out.JCT[scen.name] = map[string]float64{}
-		out.LossPercent[scen.name] = map[string]float64{}
 		def := clusterDef{name: scen.name, factory: scen.factory}
 		c, _ := scen.factory()
 		reducers := scen.reducers(c)
-
 		for _, variant := range AblationVariants {
-			res, err := runWith(cfg, def, puma.WordCount, input,
-				runner.Engine{Kind: runner.FlexMap, FlexAblation: variant}, reducers)
-			if err != nil {
-				return nil, err
-			}
-			out.JCT[scen.name][variant] = float64(res.JCT())
+			variant := variant
+			jobs = append(jobs, simJob{fmt.Sprintf("ablation/%s/flexmap[%s]", scen.name, variant), func() (*runner.Result, error) {
+				return runWith(cfg, def, puma.WordCount, input,
+					runner.Engine{Kind: runner.FlexMap, FlexAblation: variant}, reducers)
+			}})
 		}
-		stock, err := runWith(cfg, def, puma.WordCount, input,
-			runner.Engine{Kind: runner.Hadoop, SplitMB: 64}, reducers)
-		if err != nil {
-			return nil, err
+		jobs = append(jobs, simJob{fmt.Sprintf("ablation/%s/hadoop-64m", scen.name), func() (*runner.Result, error) {
+			return runWith(cfg, def, puma.WordCount, input,
+				runner.Engine{Kind: runner.Hadoop, SplitMB: 64}, reducers)
+		}})
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	perScenario := len(AblationVariants) + 1
+	for si, scen := range scenarios {
+		out.Scenarios = append(out.Scenarios, scen.name)
+		out.JCT[scen.name] = map[string]float64{}
+		out.LossPercent[scen.name] = map[string]float64{}
+		for vi, variant := range AblationVariants {
+			out.JCT[scen.name][variant] = float64(results[si*perScenario+vi].JCT())
 		}
-		out.JCT[scen.name]["hadoop-64m"] = float64(stock.JCT())
+		out.JCT[scen.name]["hadoop-64m"] = float64(results[si*perScenario+len(AblationVariants)].JCT())
 
 		full := out.JCT[scen.name][""]
 		for _, variant := range AblationVariants[1:] {

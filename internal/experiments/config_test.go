@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestSeedZeroIsDefaultSentinel pins the documented quirk of
+// Config.Seed: zero is a sentinel for "use the default seed 42", so an
+// explicit Seed: 0 is indistinguishable from leaving the field unset.
+// Callers who want a different run must pass any non-zero seed
+// (negatives are fine and pass through untouched).
+func TestSeedZeroIsDefaultSentinel(t *testing.T) {
+	if got := (Config{}).withDefaults().Seed; got != 42 {
+		t.Errorf("unset seed → %d, want 42", got)
+	}
+	if got := (Config{Seed: 0, Scale: 8}).withDefaults().Seed; got != 42 {
+		t.Errorf("explicit Seed: 0 → %d, want the documented sentinel default 42", got)
+	}
+	if got := (Config{Seed: 7}).withDefaults().Seed; got != 7 {
+		t.Errorf("Seed: 7 → %d, want 7", got)
+	}
+	if got := (Config{Seed: -3}).withDefaults().Seed; got != -3 {
+		t.Errorf("Seed: -3 → %d, want -3 (negatives pass through)", got)
+	}
+}
+
+func TestWithDefaultsFillsRest(t *testing.T) {
+	got := (Config{}).withDefaults()
+	if got.Scale != 1 {
+		t.Errorf("default scale = %d", got.Scale)
+	}
+	if len(got.Benchmarks) == 0 {
+		t.Error("default benchmarks empty")
+	}
+	// Parallel 0 means "auto" and must pass through unchanged — the
+	// worker pool resolves it to GOMAXPROCS.
+	if got.Parallel != 0 {
+		t.Errorf("default parallel = %d, want 0 (auto)", got.Parallel)
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+// The regression net for the parallel runner: every experiment harness,
+// run twice with the same seed — once fully serial, once fanned across
+// many workers — must render byte-for-byte identical output. This is the
+// contract that lets cmd/paperfigs default to -parallel 0: parallelism
+// can change wall-clock time only, never a published number.
+
+import (
+	"testing"
+
+	"flexmap/internal/puma"
+)
+
+// detCfg is the determinism grid config: Scale 64 keeps every harness
+// cheap while still running full multi-wave jobs.
+func detCfg(parallel int) Config {
+	return Config{
+		Seed:       42,
+		Scale:      64,
+		Benchmarks: []puma.Benchmark{puma.WordCount, puma.Grep},
+		Parallel:   parallel,
+	}
+}
+
+// detHarnesses names every harness and how to render it under a config.
+var detHarnesses = []struct {
+	name   string
+	render func(Config) (string, error)
+}{
+	{"fig1", func(cfg Config) (string, error) {
+		r, err := Fig1(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig2", func(cfg Config) (string, error) {
+		r, err := Fig2(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig3", func(cfg Config) (string, error) {
+		r, err := Fig3(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig56-physical", func(cfg Config) (string, error) {
+		r, err := Fig56(cfg, "physical")
+		if err != nil {
+			return "", err
+		}
+		return r.RenderFig5() + r.RenderFig6(), nil
+	}},
+	{"fig56-virtual", func(cfg Config) (string, error) {
+		r, err := Fig56(cfg, "virtual")
+		if err != nil {
+			return "", err
+		}
+		return r.RenderFig5() + r.RenderFig6(), nil
+	}},
+	{"fig7", func(cfg Config) (string, error) {
+		r, err := Fig7(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"fig8", func(cfg Config) (string, error) {
+		r, err := Fig8Subset(cfg, []float64{0.20})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"overhead", func(cfg Config) (string, error) {
+		r, err := Overhead(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"ablation", func(cfg Config) (string, error) {
+		r, err := Ablation(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	{"skew", func(cfg Config) (string, error) {
+		r, err := Skew(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+}
+
+func TestSerialVsParallelDeterminism(t *testing.T) {
+	for _, h := range detHarnesses {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			serial, err := h.render(detCfg(1))
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			parallel, err := h.render(detCfg(8))
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if serial != parallel {
+				t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+			}
+			if serial == "" {
+				t.Error("harness rendered nothing")
+			}
+		})
+	}
+}
+
+// TestParallelRunRepeatable pins that two parallel runs of the same
+// harness also agree with each other (no hidden run-to-run state).
+func TestParallelRunRepeatable(t *testing.T) {
+	first, err := Fig56(detCfg(0), "physical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Fig56(detCfg(0), "physical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := first.RenderFig5(), second.RenderFig5(); a != b {
+		t.Errorf("two parallel runs disagree:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -7,27 +7,38 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flexmap/internal/cluster"
 	"flexmap/internal/mr"
+	"flexmap/internal/parallel"
 	"flexmap/internal/puma"
+	"flexmap/internal/randutil"
 	"flexmap/internal/runner"
 )
 
 // Config scopes an experiment run.
 type Config struct {
 	// Seed drives placement, interference, noise and the biased reduce
-	// dispatcher. The same seed reproduces a run bit-for-bit.
+	// dispatcher. The same seed reproduces a run bit-for-bit, serial or
+	// parallel. Zero is a sentinel meaning "the default seed 42" — an
+	// explicit Seed: 0 cannot be selected (use any other value instead).
 	Seed int64
 	// Scale divides the paper's Table II input sizes: 1 = paper scale,
 	// larger values shrink inputs proportionally (tests use 16-64).
 	Scale int64
 	// Benchmarks restricts multi-benchmark experiments; nil = all eight.
 	Benchmarks []puma.Benchmark
+	// Parallel bounds how many simulations of a harness's scenario grid
+	// run concurrently: 0 = one worker per core (GOMAXPROCS), 1 = serial.
+	// Results are bit-for-bit identical at any setting — every run builds
+	// all its RNG state locally from the scenario seed.
+	Parallel int
 }
 
-// withDefaults fills zero fields.
+// withDefaults fills zero fields. Seed 0 means "default seed 42" by
+// design (see the field comment); Parallel 0 passes through as "auto".
 func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 42
@@ -113,6 +124,42 @@ func runOne(cfg Config, def clusterDef, b puma.Benchmark, input int64, eng runne
 func runOneSlots(cfg Config, def clusterDef, b puma.Benchmark, input int64, eng runner.Engine) (*runner.Result, error) {
 	c, _ := def.factory()
 	return runWith(cfg, def, b, input, eng, c.TotalSlots())
+}
+
+// simJob is one simulation of a harness's scenario grid: a name for
+// error messages plus a closure that runs it. All randomness lives inside
+// the closure (runner.Run seeds everything from the scenario), so jobs
+// are safe to run concurrently in any order.
+type simJob struct {
+	name string
+	run  func() (*runner.Result, error)
+}
+
+// runJobs fans a harness's simulation grid across cfg.Parallel workers
+// (0 = GOMAXPROCS, 1 = serial) and returns the results in input order,
+// or the first error in input order. A panicking scenario surfaces as
+// that error rather than crashing the harness.
+func runJobs(cfg Config, jobs []simJob) ([]*runner.Result, error) {
+	pjobs := make([]parallel.Job, len(jobs))
+	for i, j := range jobs {
+		j := j
+		pjobs[i] = parallel.Job{
+			Name: j.name,
+			Run: func(context.Context, *randutil.Source) (any, error) {
+				return j.run()
+			},
+		}
+	}
+	batch := parallel.Pool{Workers: cfg.Parallel, BaseSeed: cfg.Seed}.
+		RunAll(context.Background(), pjobs)
+	if err := parallel.FirstError(batch); err != nil {
+		return nil, err
+	}
+	out := make([]*runner.Result, len(batch))
+	for i, r := range batch {
+		out[i], _ = r.Value.(*runner.Result)
+	}
+	return out, nil
 }
 
 func runWith(cfg Config, def clusterDef, b puma.Benchmark, input int64, eng runner.Engine, reducers int) (*runner.Result, error) {

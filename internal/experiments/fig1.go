@@ -36,14 +36,18 @@ func Fig1(cfg Config) (*Fig1Result, error) {
 	input := smallInput(p, cfg.Scale)
 	eng := runner.Engine{Kind: runner.Hadoop, SplitMB: 64}
 
-	physRes, err := runOne(cfg, physicalDef(), puma.WordCount, input, eng)
+	res, err := runJobs(cfg, []simJob{
+		{"fig1/physical", func() (*runner.Result, error) {
+			return runOne(cfg, physicalDef(), puma.WordCount, input, eng)
+		}},
+		{"fig1/virtual", func() (*runner.Result, error) {
+			return runOne(cfg, virtualDef(cfg.Seed), puma.WordCount, input, eng)
+		}},
+	})
 	if err != nil {
 		return nil, err
 	}
-	virtRes, err := runOne(cfg, virtualDef(cfg.Seed), puma.WordCount, input, eng)
-	if err != nil {
-		return nil, err
-	}
+	physRes, virtRes := res[0], res[1]
 
 	out := &Fig1Result{}
 	phys := metrics.MapRuntimes(physRes.JobResult)

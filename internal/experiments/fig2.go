@@ -37,21 +37,29 @@ func Fig2(cfg Config) (*Fig2Result, error) {
 	// A few waves of 64 MB tasks on 3 single-slot nodes exposes the
 	// static-binding limit directly while giving FlexMap room to grow.
 	input := 24 * 64 * runner.MB
-	for _, eng := range []runner.Engine{
+	engines := []runner.Engine{
 		{Kind: runner.HadoopNoSpec, SplitMB: 64},
 		{Kind: runner.FlexMap},
-	} {
-		res, err := runOne(cfg, def, puma.Grep, input, eng)
-		if err != nil {
-			return nil, err
-		}
+	}
+	jobs := make([]simJob, len(engines))
+	for i, eng := range engines {
+		eng := eng
+		jobs[i] = simJob{"fig2/" + eng.String(), func() (*runner.Result, error) {
+			return runOne(cfg, def, puma.Grep, input, eng)
+		}}
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
 		var per [3]int64
 		var total int64
 		for _, a := range res.MapAttempts() {
 			per[a.Node] += a.Bytes
 			total += a.Bytes
 		}
-		name := eng.String()
+		name := engines[i].String()
 		out.BytesPerNode[name] = per
 		if total > 0 {
 			out.FastShare[name] = float64(per[2]) / float64(total)

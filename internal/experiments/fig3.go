@@ -45,14 +45,40 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 	input := smallInput(p, cfg.Scale)
 	out := &Fig3Result{}
 
-	// (a) PDFs on the virtual cluster.
+	// The full grid: (a)'s two virtual-cluster runs, then (b,c)/(d)'s
+	// split-size sweep over the homogeneous and heterogeneous clusters.
+	homoDef := clusterDef{"homogeneous-6", func() (*cluster.Cluster, cluster.Interferer) {
+		return cluster.HomogeneousPaper(6), nil
+	}}
+	hetDef := clusterDef{"heterogeneous-6", func() (*cluster.Cluster, cluster.Interferer) {
+		return cluster.Heterogeneous6(), nil
+	}}
+	var jobs []simJob
 	for _, sizeMB := range []int{8, 64} {
-		res, err := runOne(cfg, virtualDef(cfg.Seed), puma.WordCount, input,
-			runner.Engine{Kind: runner.HadoopNoSpec, SplitMB: sizeMB})
-		if err != nil {
-			return nil, err
+		sizeMB := sizeMB
+		jobs = append(jobs, simJob{fmt.Sprintf("fig3a/%dMB", sizeMB), func() (*runner.Result, error) {
+			return runOne(cfg, virtualDef(cfg.Seed), puma.WordCount, input,
+				runner.Engine{Kind: runner.HadoopNoSpec, SplitMB: sizeMB})
+		}})
+	}
+	sweepDefs := []clusterDef{homoDef, hetDef}
+	for _, sizeMB := range fig3Sizes {
+		for _, def := range sweepDefs {
+			sizeMB, def := sizeMB, def
+			jobs = append(jobs, simJob{fmt.Sprintf("fig3bcd/%s/%dMB", def.name, sizeMB), func() (*runner.Result, error) {
+				return runOne(cfg, def, puma.WordCount, input,
+					runner.Engine{Kind: runner.HadoopNoSpec, SplitMB: sizeMB})
+			}})
 		}
-		normed := metrics.Normalize(metrics.MapRuntimes(res.JobResult))
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	// (a) PDFs on the virtual cluster.
+	for i, sizeMB := range []int{8, 64} {
+		normed := metrics.Normalize(metrics.MapRuntimes(results[i].JobResult))
 		hist := metrics.NewHistogram(normed, 0, 1, 10)
 		stats := metrics.Describe(normed)
 		if sizeMB == 8 {
@@ -65,30 +91,15 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 	}
 
 	// (b,c) homogeneous sweep; (d) heterogeneous sweep.
-	homoDef := clusterDef{"homogeneous-6", func() (*cluster.Cluster, cluster.Interferer) {
-		return cluster.HomogeneousPaper(6), nil
-	}}
-	hetDef := clusterDef{"heterogeneous-6", func() (*cluster.Cluster, cluster.Interferer) {
-		return cluster.Heterogeneous6(), nil
-	}}
-	for _, sizeMB := range fig3Sizes {
-		for _, tc := range []struct {
-			def  clusterDef
-			dest *[]Fig3SizePoint
-		}{{homoDef, &out.Homogeneous}, {hetDef, &out.Heterogen}} {
-			res, err := runOne(cfg, tc.def, puma.WordCount, input,
-				runner.Engine{Kind: runner.HadoopNoSpec, SplitMB: sizeMB})
-			if err != nil {
-				return nil, err
-			}
-			sum := metrics.Summarize(res.JobResult)
-			*tc.dest = append(*tc.dest, Fig3SizePoint{
-				SplitMB:      sizeMB,
-				JCT:          sum.JCT,
-				Productivity: sum.MeanProductivity,
-				Efficiency:   sum.Efficiency,
-			})
-		}
+	dests := []*[]Fig3SizePoint{&out.Homogeneous, &out.Heterogen}
+	for i, res := range results[2:] {
+		sum := metrics.Summarize(res.JobResult)
+		*dests[i%len(sweepDefs)] = append(*dests[i%len(sweepDefs)], Fig3SizePoint{
+			SplitMB:      fig3Sizes[i/len(sweepDefs)],
+			JCT:          sum.JCT,
+			Productivity: sum.MeanProductivity,
+			Efficiency:   sum.Efficiency,
+		})
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"flexmap/internal/metrics"
 	"flexmap/internal/puma"
+	"flexmap/internal/runner"
 )
 
 // Cell is one benchmark × engine measurement of the Fig. 5/6 matrix.
@@ -41,20 +42,30 @@ func Fig56(cfg Config, clusterName string) (*Fig56Result, error) {
 	}
 
 	out := &Fig56Result{Cluster: clusterName}
+	engines := comparedEngines()
+	var jobs []simJob
 	for _, bench := range cfg.Benchmarks {
 		p, err := puma.GetProfile(bench)
 		if err != nil {
 			return nil, err
 		}
 		input := smallInput(p, cfg.Scale)
+		for _, eng := range engines {
+			bench, eng := bench, eng
+			jobs = append(jobs, simJob{fmt.Sprintf("fig56/%s/%s/%s", clusterName, bench, eng), func() (*runner.Result, error) {
+				return runOne(cfg, def, bench, input, eng)
+			}})
+		}
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for bi, bench := range cfg.Benchmarks {
 		var sums []metrics.Summary
 		var cells []Cell
-		for _, eng := range comparedEngines() {
-			res, err := runOne(cfg, def, bench, input, eng)
-			if err != nil {
-				return nil, err
-			}
-			sum := metrics.Summarize(res.JobResult)
+		for ei := range engines {
+			sum := metrics.Summarize(results[bi*len(engines)+ei].JobResult)
 			sums = append(sums, sum)
 			cells = append(cells, Cell{Bench: bench, Engine: sum.Engine, Summary: sum})
 		}

@@ -44,11 +44,20 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 		Slow Fig7Trace
 	}{}}
 
-	for _, def := range []clusterDef{physicalDef(), virtualDef(cfg.Seed)} {
-		res, err := runOne(cfg, def, puma.HistogramRatings, input, runner.Engine{Kind: runner.FlexMap})
-		if err != nil {
-			return nil, err
-		}
+	defs := []clusterDef{physicalDef(), virtualDef(cfg.Seed)}
+	jobs := make([]simJob, len(defs))
+	for i, def := range defs {
+		def := def
+		jobs[i] = simJob{"fig7/" + def.name, func() (*runner.Result, error) {
+			return runOne(cfg, def, puma.HistogramRatings, input, runner.Engine{Kind: runner.FlexMap})
+		}}
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, def := range defs {
+		res := results[i]
 		fast, slow := extremeNodes(res.Cluster)
 		entry := struct {
 			Fast Fig7Trace

@@ -7,6 +7,7 @@ import (
 	"flexmap/internal/cluster"
 	"flexmap/internal/metrics"
 	"flexmap/internal/puma"
+	"flexmap/internal/runner"
 )
 
 // Fig8Fractions are the slow-node fractions of Fig. 8(a)-(d).
@@ -45,6 +46,8 @@ func fig8(cfg Config, fractions []float64) (*Fig8Result, error) {
 	for _, eng := range fig8Engines() {
 		out.Engines = append(out.Engines, eng.String())
 	}
+	engines := fig8Engines()
+	var jobs []simJob
 	for _, frac := range fractions {
 		frac := frac
 		def := clusterDef{
@@ -53,21 +56,33 @@ func fig8(cfg Config, fractions []float64) (*Fig8Result, error) {
 				return cluster.MultiTenant40(frac, cfg.Seed)
 			},
 		}
-		out.Norm[frac] = map[puma.Benchmark]map[string]float64{}
-		out.JCT[frac] = map[puma.Benchmark]map[string]float64{}
 		for _, bench := range cfg.Benchmarks {
 			p, err := puma.GetProfile(bench)
 			if err != nil {
 				return nil, err
 			}
 			input := largeInput(p, cfg.Scale)
+			for _, eng := range engines {
+				bench, eng := bench, eng
+				jobs = append(jobs, simJob{fmt.Sprintf("fig8/%s/%s/%s", def.name, bench, eng), func() (*runner.Result, error) {
+					return runOneSlots(cfg, def, bench, input, eng)
+				}})
+			}
+		}
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, frac := range fractions {
+		out.Norm[frac] = map[puma.Benchmark]map[string]float64{}
+		out.JCT[frac] = map[puma.Benchmark]map[string]float64{}
+		for _, bench := range cfg.Benchmarks {
 			var sums []metrics.Summary
-			for _, eng := range fig8Engines() {
-				res, err := runOneSlots(cfg, def, bench, input, eng)
-				if err != nil {
-					return nil, err
-				}
-				sums = append(sums, metrics.Summarize(res.JobResult))
+			for range engines {
+				sums = append(sums, metrics.Summarize(results[i].JobResult))
+				i++
 			}
 			norm, err := metrics.NormalizeTo(Baseline64, sums)
 			if err != nil {

@@ -33,14 +33,18 @@ func Overhead(cfg Config) (*OverheadResult, error) {
 		return cluster.HomogeneousPaper(6), nil
 	}}
 
-	stock, err := runOne(cfg, def, puma.WordCount, input, runner.Engine{Kind: runner.Hadoop, SplitMB: 64})
+	results, err := runJobs(cfg, []simJob{
+		{"overhead/hadoop-64m", func() (*runner.Result, error) {
+			return runOne(cfg, def, puma.WordCount, input, runner.Engine{Kind: runner.Hadoop, SplitMB: 64})
+		}},
+		{"overhead/flexmap", func() (*runner.Result, error) {
+			return runOne(cfg, def, puma.WordCount, input, runner.Engine{Kind: runner.FlexMap})
+		}},
+	})
 	if err != nil {
 		return nil, err
 	}
-	flex, err := runOne(cfg, def, puma.WordCount, input, runner.Engine{Kind: runner.FlexMap})
-	if err != nil {
-		return nil, err
-	}
+	stock, flex := results[0], results[1]
 	out := &OverheadResult{
 		StockJCT:   float64(stock.JCT()),
 		FlexMapJCT: float64(flex.JCT()),

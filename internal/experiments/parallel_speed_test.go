@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"flexmap/internal/puma"
+)
+
+// TestParallelSpeedup measures the wall-clock effect of fanning one
+// harness's scenario grid across all cores. On a multi-core machine the
+// auto setting must beat serial; on a single core the test only logs the
+// two times (there is nothing to win, and the determinism tests already
+// pin that results are identical).
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	// The Fig. 8 grid at scale 16 (Table II large inputs) is the
+	// heaviest harness — 16 sims of tens of milliseconds each, enough
+	// work for the fan-out to dominate goroutine overhead.
+	cfg := Config{Seed: 42, Scale: 16, Benchmarks: []puma.Benchmark{puma.WordCount, puma.Grep}}
+	measure := func(workers int) time.Duration {
+		c := cfg
+		c.Parallel = workers
+		start := time.Now()
+		if _, err := Fig8Subset(c, []float64{0.05, 0.40}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	measure(0) // warm caches so the comparison is fair
+
+	serial := measure(1)
+	auto := measure(0)
+	cores := runtime.GOMAXPROCS(0)
+	t.Logf("fig8 grid (16 sims, scale 16): serial %v, parallel %v on %d core(s) — %.2fx",
+		serial, auto, cores, float64(serial)/float64(auto))
+
+	if cores >= 2 && auto >= serial {
+		t.Errorf("parallel (%v) not faster than serial (%v) on %d cores", auto, serial, cores)
+	}
+}

@@ -52,12 +52,20 @@ func Skew(cfg Config) (*SkewResult, error) {
 	}
 
 	out := &SkewResult{Sigma: sigma, JCT: map[string]float64{}, Norm: map[string]float64{}}
+	engines := fig8Engines()
+	jobs := make([]simJob, len(engines))
+	for i, eng := range engines {
+		eng := eng
+		jobs[i] = simJob{"skew/" + eng.String(), func() (*runner.Result, error) {
+			return runner.Run(sc, spec, eng)
+		}}
+	}
+	results, err := runJobs(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
 	var sums []metrics.Summary
-	for _, eng := range fig8Engines() {
-		res, err := runner.Run(sc, spec, eng)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		sum := metrics.Summarize(res.JobResult)
 		sums = append(sums, sum)
 		out.JCT[sum.Engine] = sum.JCT

@@ -1,0 +1,145 @@
+// Package parallel provides a bounded worker pool for fanning many
+// independent simulation runs across the machine's cores while keeping
+// every property the serial loops had:
+//
+//   - Ordering: RunAll returns one Result per Job, in input order,
+//     regardless of which worker finished which job first.
+//   - Determinism: each job receives its own RNG derived purely from
+//     (BaseSeed, job index) via randutil.DeriveSeed, so no two jobs ever
+//     share random state and output is bit-for-bit identical to a serial
+//     run of the same jobs.
+//   - Containment: a panicking job becomes an error Result (with the
+//     stack attached), not a crashed process.
+//   - Cancellation: when the context is canceled, running jobs finish
+//     but jobs not yet started are marked with the context's error.
+//
+// The experiment harnesses in internal/experiments put every simulation
+// of their scenario grid through this pool; cmd/paperfigs exposes the
+// worker count as -parallel.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"flexmap/internal/randutil"
+)
+
+// Job is one independent unit of work, typically a single simulated job
+// run. Run receives a private RNG seeded from (Pool.BaseSeed, job index);
+// jobs that carry their own seeding may ignore it.
+type Job struct {
+	// Name labels the job in error messages ("fig5/physical/wordcount").
+	Name string
+	Run  func(ctx context.Context, rng *randutil.Source) (any, error)
+}
+
+// Result is the outcome of one Job, at the same index the job was
+// submitted.
+type Result struct {
+	Name  string
+	Value any
+	Err   error
+	// Panicked reports that Err came from a recovered panic.
+	Panicked bool
+}
+
+// PanicError is the error a panicking job produces.
+type PanicError struct {
+	Job   string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: job %q panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// Pool configures a bounded fan-out.
+type Pool struct {
+	// Workers bounds concurrency: 0 (or negative) means GOMAXPROCS,
+	// 1 means fully serial execution on the calling goroutine's schedule.
+	Workers int
+	// BaseSeed seeds the per-job RNGs (job i gets
+	// randutil.DeriveSeed(BaseSeed, i)).
+	BaseSeed int64
+}
+
+// RunAll executes all jobs through the pool and returns their results in
+// input order. It blocks until every started job has finished; jobs that
+// never started because ctx was canceled carry ctx's error.
+func (p Pool) RunAll(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// Workers pull indices from a shared channel; each writes only its
+	// own results[i] slot, so no further synchronization is needed.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(ctx, jobs[i], i, p.BaseSeed)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// RunAll is the one-shot convenience form: GOMAXPROCS workers, the given
+// base seed.
+func RunAll(ctx context.Context, baseSeed int64, jobs []Job) []Result {
+	return Pool{BaseSeed: baseSeed}.RunAll(ctx, jobs)
+}
+
+// runOne executes a single job with panic containment and cancellation.
+func runOne(ctx context.Context, job Job, i int, baseSeed int64) (res Result) {
+	res.Name = job.Name
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = &PanicError{Job: job.Name, Value: r, Stack: debug.Stack()}
+			res.Panicked = true
+		}
+	}()
+	rng := randutil.New(randutil.DeriveSeed(baseSeed, i))
+	res.Value, res.Err = job.Run(ctx, rng)
+	return res
+}
+
+// FirstError returns the first non-nil error in input order, wrapped with
+// its job name, or nil. Harnesses use it to turn a result batch into the
+// same single-error flow their serial loops had.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			if r.Name != "" {
+				return fmt.Errorf("%s: %w", r.Name, r.Err)
+			}
+			return r.Err
+		}
+	}
+	return nil
+}

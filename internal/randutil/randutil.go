@@ -5,6 +5,7 @@
 package randutil
 
 import (
+	"encoding/binary"
 	"hash/fnv"
 	"math/rand"
 )
@@ -38,6 +39,25 @@ func (s *Source) Split(label string) *Source {
 
 	}
 	return New(derived)
+}
+
+// DeriveSeed deterministically derives an independent seed from a base
+// seed and a job (or scenario) index. It is the numeric counterpart of
+// Split: a pure function of its inputs, so the i-th job of a batch gets
+// the same RNG stream whether the batch runs serially or across many
+// goroutines, and regardless of completion order.
+func DeriveSeed(seed int64, index int) int64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(index))
+	h.Write(buf[:])
+	derived := int64(h.Sum64())
+	// Avoid the degenerate all-zero seed.
+	if derived == 0 {
+		derived = 0x9e3779b97f4a7c
+	}
+	return derived
 }
 
 // Perm is rand.Perm on the wrapped source (re-exported for clarity).

@@ -93,3 +93,30 @@ func TestSeedAccessor(t *testing.T) {
 		t.Fatal("Seed() mismatch")
 	}
 }
+
+func TestDeriveSeedPureAndNonZero(t *testing.T) {
+	if DeriveSeed(42, 3) != DeriveSeed(42, 3) {
+		t.Fatal("DeriveSeed not a pure function")
+	}
+	f := func(seed int64, index uint16) bool {
+		return DeriveSeed(seed, int(index)) != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveSeedSpreads(t *testing.T) {
+	// Neighboring indices and neighboring base seeds must land on
+	// distinct seeds — each job of a batch gets its own stream.
+	seen := map[int64]bool{}
+	for base := int64(0); base < 8; base++ {
+		for i := 0; i < 64; i++ {
+			s := DeriveSeed(base, i)
+			if seen[s] {
+				t.Fatalf("collision at base %d index %d (seed %d)", base, i, s)
+			}
+			seen[s] = true
+		}
+	}
+}
