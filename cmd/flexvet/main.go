@@ -1,0 +1,124 @@
+// Command flexvet runs the repository's determinism and concurrency
+// static-analysis suite (see internal/analysis) and fails the build on
+// findings. It is stdlib-only — go/parser, go/ast and go/types, with
+// imports compiled from source — so the module stays dependency-free.
+//
+// Usage:
+//
+//	flexvet [-json] [-run detrand,seedflow,rangemap,lockheld] [packages]
+//	flexvet -list
+//
+// Packages default to ./... and may be directories or /... patterns;
+// test files are not analyzed (the determinism suite itself exercises
+// them at runtime). Run it from inside the module — CI runs:
+//
+//	go run ./cmd/flexvet ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load or type-check errors.
+//
+// Findings are suppressed per-analyzer by a trailing (or directly
+// preceding) comment: //flexvet:ignore <analyzer>.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flexmap/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer subset (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*run, ","))
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	loader, err := analysis.NewLoader()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	loadErrors := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "flexvet: %s: %v\n", pkg.Path, terr)
+			loadErrors++
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for i := range diags {
+		diags[i].File = relPath(diags[i].File)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+		}{Diagnostics: diags}); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+
+	switch {
+	case loadErrors > 0:
+		os.Exit(2)
+	case len(diags) > 0:
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "flexvet: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// relPath shortens a filename to be relative to the working directory
+// when possible, keeping diagnostics readable and stable across checkouts.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flexvet: "+format+"\n", args...)
+	os.Exit(2)
+}

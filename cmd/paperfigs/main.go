@@ -32,9 +32,20 @@ func main() {
 	scale := flag.Int64("scale", 1, "divide paper input sizes by this factor")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (short names, e.g. WC,GR)")
 	workers := flag.Int("parallel", 0, "concurrent simulations per experiment (0 = one per core, 1 = serial)")
+	progress := flag.Bool("progress", false, "report per-grid simulation progress on stderr")
 	flag.Parse()
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, Parallel: *workers}
+	if *progress {
+		// Stderr only: stdout must stay byte-identical with or without
+		// progress reporting.
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rpaperfigs: %d/%d sims", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	if *benchList != "" {
 		short := map[string]puma.Benchmark{}
 		for _, b := range puma.All {

@@ -14,6 +14,7 @@ import (
 
 	"flexmap"
 	"flexmap/internal/datagen"
+	"flexmap/internal/maputil"
 )
 
 func main() {
@@ -45,15 +46,17 @@ func main() {
 			eng, float64(res.JCT()), len(res.Output))
 	}
 
-	// Every engine must produce identical counts.
+	// Every engine must produce identical counts. Iterate in sorted
+	// order so any failure report is itself deterministic.
 	base := outputs["hadoop-64m"]
-	for name, out := range outputs {
+	for _, name := range maputil.SortedKeys(outputs) {
+		out := outputs[name]
 		if len(out) != len(base) {
 			log.Fatalf("%s produced %d words, hadoop produced %d", name, len(out), len(base))
 		}
-		for k, v := range base {
-			if out[k] != v {
-				log.Fatalf("%s disagrees on %q: %s vs %s", name, k, out[k], v)
+		for _, k := range maputil.SortedKeys(base) {
+			if out[k] != base[k] {
+				log.Fatalf("%s disagrees on %q: %s vs %s", name, k, out[k], base[k])
 			}
 		}
 	}

@@ -1,0 +1,149 @@
+// Package analysis is a minimal, stdlib-only static-analysis framework
+// (go/parser + go/ast + go/types; no external dependencies) backing the
+// flexvet determinism and concurrency checks in cmd/flexvet.
+//
+// The framework loads and type-checks packages (see Loader), runs a set
+// of Analyzers over them, and reports file:line diagnostics. Findings on
+// a line carrying (or directly below) a `//flexvet:ignore <analyzer>`
+// comment are suppressed for exactly the named analyzers.
+//
+// It deliberately mirrors the shape of golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic — so analyzers could migrate there if this
+// module ever takes on dependencies, but stays a few hundred lines so
+// the module remains dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+)
+
+// Diagnostic is one finding: an analyzer name, a source position, and a
+// human-readable message.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //flexvet:ignore comments.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Applies, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts. Nil means every package.
+	Applies func(pkgPath string) bool
+	// Run inspects the package in pass.Pkg and reports findings through
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every applicable analyzer over every package, applies
+// //flexvet:ignore suppressions, and returns the surviving diagnostics
+// sorted by (file, line, col, analyzer, message) so output is stable.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ign := buildIgnores(pkg)
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if ign.suppressed(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// All returns the flexvet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, Seedflow, Rangemap, Lockheld}
+}
+
+// ByName returns the analyzers matching the given names, or an error
+// naming the first unknown one.
+func ByName(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// pathIn reports whether pkgPath is one of the given import paths or a
+// subpackage of one.
+func pathIn(pkgPath string, roots ...string) bool {
+	for _, r := range roots {
+		if pkgPath == r || (len(pkgPath) > len(r) && pkgPath[:len(r)] == r && pkgPath[len(r)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// guardedRe matches "guarded by <name>" in a doc comment (lockheld) —
+// kept here so the comment grammar is documented next to the framework.
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrandScope is the set of packages whose behavior must be a pure
+// function of the scenario seed: the simulation engine, both AMs, the
+// YARN model and the experiment harnesses. cmd/ (wall-clock timing of
+// the tool itself) and internal/randutil (the one sanctioned seeding
+// point) are deliberately outside this set.
+var detrandScope = []string{
+	"flexmap/internal/sim",
+	"flexmap/internal/core",
+	"flexmap/internal/engine",
+	"flexmap/internal/yarn",
+	"flexmap/internal/experiments",
+}
+
+// randPkgs are the math/rand package paths whose global (process-seeded)
+// functions detrand forbids and whose constructors seedflow polices.
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// randConstructors are the math/rand functions that build a new
+// generator rather than drawing from the global one. They are seedflow's
+// concern, not detrand's.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Detrand forbids wall-clock and global-RNG nondeterminism inside the
+// simulation packages: time.Now, the global math/rand functions (which
+// draw from a process-wide, potentially time-seeded source), and
+// time-seeded rand.NewSource. Simulations must take time from the
+// sim.Engine clock and randomness from seeded internal/randutil sources.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid time.Now, global math/rand functions, and time-seeded " +
+		"rand.NewSource in the deterministic simulation packages",
+	Applies: func(pkgPath string) bool { return pathIn(pkgPath, detrandScope...) },
+	Run:     runDetrand,
+}
+
+func runDetrand(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := selectedPackage(info, sel)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case pkgPath == "time" && name == "Now":
+				pass.Reportf(sel.Pos(),
+					"time.Now in deterministic package %s: use the sim.Engine virtual clock", pass.Pkg.Path)
+			case randPkgs[pkgPath] && !randConstructors[name] && isPackageFunc(info, sel):
+				pass.Reportf(sel.Pos(),
+					"global %s.%s draws from the process-wide RNG: derive a seeded source via flexmap/internal/randutil",
+					pkgPath, name)
+			case randPkgs[pkgPath] && name == "NewSource" && inCallWithTimeArg(info, f, sel):
+				pass.Reportf(sel.Pos(),
+					"time-seeded %s.NewSource is nondeterministic: seed from the scenario via flexmap/internal/randutil",
+					pkgPath)
+			}
+			return true
+		})
+	}
+}
+
+// selectedPackage resolves sel.X to an imported package name and returns
+// its import path.
+func selectedPackage(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// isPackageFunc reports whether the selector resolves to a package-level
+// function (as opposed to a type or variable).
+func isPackageFunc(info *types.Info, sel *ast.SelectorExpr) bool {
+	_, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok
+}
+
+// inCallWithTimeArg reports whether sel is the callee of a call whose
+// arguments mention package time (the classic
+// rand.NewSource(time.Now().UnixNano()) pattern).
+func inCallWithTimeArg(info *types.Info, f *ast.File, sel *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Fun != sel {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if s, ok := m.(*ast.SelectorExpr); ok {
+					if p, ok := selectedPackage(info, s); ok && p == "time" {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return false
+	})
+	return found
+}

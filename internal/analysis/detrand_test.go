@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestDetrand(t *testing.T) {
+	runWant(t, "testdata/src/detrand", "flexmap/internal/sim/dtest", Detrand)
+}
+
+// TestDetrandScope loads the same findings-laden package under a path
+// outside the deterministic core: detrand must stay silent there.
+func TestDetrandScope(t *testing.T) {
+	pkg := loadTestPkg(t, "testdata/src/detrand", "flexmap/cmd/dtest")
+	if diags := Run([]*Package{pkg}, []*Analyzer{Detrand}); len(diags) != 0 {
+		t.Errorf("detrand reported outside its scope: %v", diags)
+	}
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lockheld checks mutex discipline declared in doc comments: a struct
+// field whose doc (or trailing) comment contains "guarded by <mu>" may
+// only be read or written inside functions that visibly lock <mu> —
+// heuristically, functions whose body contains a <mu>.Lock() or
+// <mu>.RLock() call (any receiver chain; defer-unlock is not required).
+//
+// The check is intentionally shallow: it does not track lock state
+// across calls or prove the right instance is locked. It exists to keep
+// the annotation honest — a new access added without thinking about the
+// lock fails the build until its function takes the mutex or the access
+// carries an explicit //flexvet:ignore lockheld with a justification.
+//
+// Composite literals (construction before the value is shared) are not
+// flagged.
+var Lockheld = &Analyzer{
+	Name: "lockheld",
+	Doc: "accesses to struct fields documented as 'guarded by <mu>' must " +
+		"sit in functions that lock <mu>",
+	Run: runLockheld,
+}
+
+func runLockheld(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+
+	// Pass 1: collect guarded fields across the package.
+	guarded := map[types.Object]string{} // field object → mutex name
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardedMutexName(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	// Pass 2: every function that touches a guarded field must lock its
+	// mutex somewhere in its body.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locked := lockedNames(info, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s, ok := info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				mu, ok := guarded[s.Obj()]
+				if !ok || locked[mu] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is documented as guarded by %s, but %s never locks %s",
+					s.Obj().Name(), mu, fd.Name.Name, mu)
+				return true
+			})
+		}
+	}
+}
+
+// guardedMutexName extracts the mutex name from a field's comments.
+func guardedMutexName(field *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(group.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedNames collects the names of mutexes the body visibly locks:
+// any call of the form <chain>.<name>.Lock() or <chain>.<name>.RLock(),
+// or a plain <name>.Lock() on a local/promoted mutex.
+func lockedNames(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			// mu.Lock() — but not pkg.Lock() for some imported package.
+			if _, isPkg := info.Uses[x].(*types.PkgName); !isPkg {
+				locked[x.Name] = true
+			}
+		case *ast.SelectorExpr:
+			locked[x.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLockheld(t *testing.T) {
+	runWant(t, "testdata/src/lockheld", "flexmap/internal/parallel/lhtest", Lockheld)
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestRangemap(t *testing.T) {
+	runWant(t, "testdata/src/rangemap", "flexmap/internal/experiments/rmtest", Rangemap)
+}

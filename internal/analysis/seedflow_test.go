@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestSeedflow(t *testing.T) {
+	runWant(t, "testdata/src/seedflow", "flexmap/internal/engine/sftest", Seedflow)
+}
+
+// TestSeedflowRandutilExempt loads the same package as if it were part
+// of internal/randutil, the one place allowed to construct RNGs.
+func TestSeedflowRandutilExempt(t *testing.T) {
+	pkg := loadTestPkg(t, "testdata/src/seedflow", "flexmap/internal/randutil")
+	if diags := Run([]*Package{pkg}, []*Analyzer{Seedflow}); len(diags) != 0 {
+		t.Errorf("seedflow reported inside internal/randutil: %v", diags)
+	}
+}

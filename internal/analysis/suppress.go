@@ -1,0 +1,77 @@
+package analysis
+
+import "strings"
+
+// ignoreDirective is the comment prefix that suppresses findings:
+//
+//	//flexvet:ignore rangemap          – silence rangemap here
+//	//flexvet:ignore rangemap,detrand  – silence both
+//	//flexvet:ignore                   – silence every analyzer
+//
+// A directive applies to the line it sits on and to the line directly
+// below it, so it works both as a trailing comment and on its own line
+// above the flagged statement. Suppression is per-analyzer: ignoring
+// rangemap on a line never hides a detrand finding there.
+const ignoreDirective = "flexvet:ignore"
+
+// ignoreSet records suppressed (file, line) → analyzer names. An empty
+// name set means all analyzers.
+type ignoreSet map[string]map[int][]string
+
+func (s ignoreSet) suppressed(d Diagnostic) bool {
+	names, ok := s[d.File][d.Line]
+	if !ok {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if n == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// buildIgnores scans every comment of the package for ignore directives.
+func buildIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				// Anything after " -- " is a human-readable justification.
+				rest, _, _ = strings.Cut(rest, "--")
+				names := strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ' ' || r == '\t' || r == ','
+				})
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if len(names) == 0 {
+						// Bare directive: all analyzers. Represented by
+						// an empty (but present) name list.
+						lines[line] = nil
+						continue
+					}
+					if existing, ok := lines[line]; ok && existing == nil {
+						continue // already ignoring everything
+					}
+					lines[line] = append(lines[line], names...)
+				}
+			}
+		}
+	}
+	return set
+}

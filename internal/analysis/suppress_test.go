@@ -1,0 +1,12 @@
+package analysis
+
+import "testing"
+
+// TestSuppress runs detrand and rangemap together over a package full
+// of //flexvet:ignore directives. The want comments assert that each
+// directive silences exactly the named analyzer on its own line and the
+// next — a directive for rangemap must not hide a detrand finding, and
+// a directive two lines up must not reach anything.
+func TestSuppress(t *testing.T) {
+	runWant(t, "testdata/src/suppress", "flexmap/internal/sim/sup", Detrand, Rangemap)
+}

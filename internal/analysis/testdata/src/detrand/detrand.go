@@ -1,0 +1,36 @@
+// Package dtest exercises the detrand analyzer. Tests load it under a
+// virtual path inside flexmap/internal/sim, where wall-clock reads and
+// the global math/rand source are forbidden.
+package dtest
+
+import (
+	"math/rand"
+	"time"
+
+	"flexmap/internal/randutil"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "time\.Now in deterministic package"
+}
+
+func globalDraws() {
+	_ = rand.Intn(10)                  // want "global math/rand\.Intn"
+	_ = rand.Float64()                 // want "global math/rand\.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want "global math/rand\.Shuffle"
+}
+
+func timeSeeded() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want "time\.Now in deterministic package" "time-seeded math/rand\.NewSource"
+}
+
+// Allowed shapes: seeded sources via randutil, methods on a concrete
+// generator, and time values that are not wall-clock reads.
+func allowed(d time.Duration) float64 {
+	src := randutil.New(42)
+	r := src.Split("noise")
+	_ = r.Intn(10)
+	var epoch time.Time
+	_ = epoch.Add(d)
+	return src.Float64()
+}

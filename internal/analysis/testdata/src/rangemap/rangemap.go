@@ -1,0 +1,95 @@
+// Package rmtest exercises the rangemap analyzer: map iteration whose
+// nondeterministic order reaches output, ordered sinks, event
+// scheduling, or float accumulation is flagged; the collect-then-sort
+// idiom is not.
+package rmtest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexmap/internal/sim"
+)
+
+func printsDuringRange(m map[string]int) {
+	for k, v := range m { // want "formats output via fmt\.Println"
+		fmt.Println(k, v)
+	}
+}
+
+func writesBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "writes to an ordered sink via WriteString"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func appendsUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to keys without sorting"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sumsFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "accumulates floating-point"
+		sum += v
+	}
+	return sum
+}
+
+func schedulesEvents(eng *sim.Engine, m map[string]float64) {
+	for _, d := range m { // want "schedules simulator events via sim\.Engine\.After"
+		eng.After(sim.Duration(d), "tick", func() {})
+	}
+}
+
+func sendsOnChannel(m map[string]int, ch chan string) {
+	for k := range m { // want "sends on a channel"
+		ch <- k
+	}
+}
+
+// collectThenSort is the sanctioned idiom: the only escape from the loop
+// is a slice that is sorted before use.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectSortSlice is the same idiom through sort.Slice.
+func collectSortSlice(m map[int]string) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// sumsInts is order-independent: integer addition is associative.
+func sumsInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// formatsValues builds per-entry values whose destination is keyed, so
+// iteration order cannot escape.
+func formatsValues(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = fmt.Sprintf("%d", v)
+	}
+	return out
+}

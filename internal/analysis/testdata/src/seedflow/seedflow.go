@@ -1,0 +1,26 @@
+// Package sftest exercises the seedflow analyzer: ad hoc rand.New /
+// rand.NewSource constructions outside internal/randutil are forbidden
+// everywhere in the module.
+package sftest
+
+import (
+	"math/rand"
+
+	"flexmap/internal/randutil"
+)
+
+func adHoc() *rand.Rand {
+	return rand.New(rand.NewSource(7)) // want "ad hoc math/rand\.New" "ad hoc math/rand\.NewSource"
+}
+
+func adHocSourceOnly() rand.Source {
+	return rand.NewSource(99) // want "ad hoc math/rand\.NewSource"
+}
+
+// The sanctioned path: seeds derived and wrapped by randutil. Consuming
+// an existing *rand.Rand (here via randutil.Source's embedding) is fine;
+// only construction is policed.
+func sanctioned(base int64, idx int) float64 {
+	src := randutil.New(randutil.DeriveSeed(base, idx))
+	return src.Jitter(1.0, 0.1)
+}

@@ -1,0 +1,53 @@
+// Package sup proves //flexvet:ignore is line- and analyzer-specific:
+// a directive silences exactly the named analyzer on its own line and
+// the line directly below — nothing else. Tests load this package under
+// a detrand-scoped virtual path and run detrand and rangemap together.
+package sup
+
+import (
+	"fmt"
+	"time"
+)
+
+func ignoredExact() time.Time {
+	//flexvet:ignore detrand -- exercising the suppression path
+	return time.Now()
+}
+
+func ignoredTrailing() time.Time {
+	return time.Now() //flexvet:ignore detrand
+}
+
+func wrongAnalyzerIgnored() time.Time {
+	//flexvet:ignore rangemap
+	return time.Now() // want detrand:"time\.Now"
+}
+
+func ignoredRange(m map[string]int) {
+	//flexvet:ignore rangemap
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func ignoredAll(m map[string]int) {
+	//flexvet:ignore
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+func notIgnored(m map[string]int) {
+	for k, v := range m { // want rangemap:"formats output via fmt\.Println"
+		fmt.Println(k, v)
+	}
+}
+
+// A directive two lines above the finding does not reach it.
+func tooFarAway(m map[string]int) {
+	//flexvet:ignore rangemap
+	_ = len(m)
+	for k, v := range m { // want rangemap:"formats output"
+		fmt.Println(k, v)
+	}
+}

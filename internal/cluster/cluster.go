@@ -12,6 +12,7 @@ package cluster
 import (
 	"fmt"
 
+	"flexmap/internal/maputil"
 	"flexmap/internal/randutil"
 	"flexmap/internal/sim"
 )
@@ -178,8 +179,10 @@ func NewStaticInterference(c *Cluster, mults map[NodeID]float64) Interferer {
 }
 
 func (s *staticInterferer) Start(eng *sim.Engine) {
-	for id, m := range s.mults {
-		s.c.Node(id).SetInterference(m)
+	// Sorted iteration: SetInterference notifies speed-change listeners,
+	// so application order must not depend on map iteration order.
+	for _, id := range maputil.SortedKeys(s.mults) {
+		s.c.Node(id).SetInterference(s.mults[id])
 	}
 }
 

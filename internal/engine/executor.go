@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"flexmap/internal/cluster"
 	"flexmap/internal/sim"
@@ -13,6 +14,7 @@ import (
 // piecewise-constant speed curve exactly.
 type Work struct {
 	node  *cluster.Node
+	seq   uint64  // creation order, for deterministic re-planning
 	total float64 // work units (bytes × cost multiplier)
 	done  float64 // units completed as of lastSync
 	rate  float64 // units/second at lastSync
@@ -77,6 +79,7 @@ func (w *Work) plan(eng *sim.Engine) {
 type Executor struct {
 	eng     *sim.Engine
 	baseIPS float64
+	nextSeq uint64
 	running map[cluster.NodeID]map[*Work]bool
 }
 
@@ -96,7 +99,16 @@ func NewExecutor(eng *sim.Engine, c *cluster.Cluster, baseIPS float64) *Executor
 
 func (x *Executor) onSpeedChange(n *cluster.Node) {
 	now := x.eng.Now()
+	// Re-plan in creation order: plan() re-enqueues each completion
+	// event, and the sim queue breaks same-timestamp ties by insertion
+	// sequence — map iteration order here would otherwise decide which
+	// of two works finishing at the same instant completes first.
+	works := make([]*Work, 0, len(x.running[n.ID]))
 	for w := range x.running[n.ID] {
+		works = append(works, w)
+	}
+	sort.Slice(works, func(i, j int) bool { return works[i].seq < works[j].seq })
+	for _, w := range works {
 		w.sync(now)
 		w.rate = x.rateOn(n)
 		w.plan(x.eng)
@@ -113,8 +125,10 @@ func (x *Executor) Start(n *cluster.Node, units float64, onDone func()) *Work {
 	if units <= 0 {
 		panic("engine: work units must be positive")
 	}
+	x.nextSeq++
 	w := &Work{
 		node:     n,
+		seq:      x.nextSeq,
 		total:    units,
 		rate:     x.rateOn(n),
 		lastSync: x.eng.Now(),

@@ -35,6 +35,11 @@ type Config struct {
 	// Results are bit-for-bit identical at any setting — every run builds
 	// all its RNG state locally from the scenario seed.
 	Parallel int
+	// Progress, when non-nil, receives (done, total) after each
+	// simulation of a harness's grid completes (see parallel.Pool
+	// .OnProgress). It must write only to side channels (stderr, a
+	// progress bar): the rendered figures must stay byte-identical.
+	Progress func(done, total int)
 }
 
 // withDefaults fills zero fields. Seed 0 means "default seed 42" by
@@ -150,7 +155,7 @@ func runJobs(cfg Config, jobs []simJob) ([]*runner.Result, error) {
 			},
 		}
 	}
-	batch := parallel.Pool{Workers: cfg.Parallel, BaseSeed: cfg.Seed}.
+	batch := parallel.Pool{Workers: cfg.Parallel, BaseSeed: cfg.Seed, OnProgress: cfg.Progress}.
 		RunAll(context.Background(), pjobs)
 	if err := parallel.FirstError(batch); err != nil {
 		return nil, err

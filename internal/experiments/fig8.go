@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"flexmap/internal/cluster"
+	"flexmap/internal/maputil"
 	"flexmap/internal/metrics"
 	"flexmap/internal/puma"
 	"flexmap/internal/runner"
@@ -128,8 +129,10 @@ func (r *Fig8Result) MeanFlexMapNorm(frac float64) float64 {
 		return 0
 	}
 	sum, n := 0.0, 0
-	for _, engines := range m {
-		if v, ok := engines["flexmap"]; ok {
+	// Sorted iteration: float addition order changes the low bits, and
+	// this statistic is printed by tests and tools.
+	for _, bench := range maputil.SortedKeys(m) {
+		if v, ok := m[bench]["flexmap"]; ok {
 			sum += v
 			n++
 		}

@@ -1,0 +1,40 @@
+// Package maputil provides deterministic iteration helpers for Go maps.
+//
+// Go randomizes map iteration order on purpose; anywhere that order can
+// reach printed output, scheduling decisions, or floating-point
+// accumulation it is a reproducibility bug in this repository (the
+// paper-figure harnesses promise byte-identical runs). The flexvet
+// `rangemap` analyzer flags such sites; these helpers are the sanctioned
+// fix.
+package maputil
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. Iterating the returned
+// slice visits the map deterministically:
+//
+//	for _, k := range maputil.SortedKeys(m) {
+//		use(k, m[k])
+//	}
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// SortedKeysFunc returns m's keys ordered by the given comparison
+// function (for key types that are not cmp.Ordered, or custom orders).
+func SortedKeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, less)
+	return keys
+}

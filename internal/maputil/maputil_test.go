@@ -1,0 +1,28 @@
+package maputil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 3, "a": 1, "b": 2}
+	want := []string{"a", "b", "c"}
+	for i := 0; i < 10; i++ {
+		if got := SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[int]string{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v, want empty", got)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	want := []int{3, 2, 1}
+	got := SortedKeysFunc(m, func(a, b int) int { return b - a })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeysFunc desc = %v, want %v", got, want)
+	}
+}

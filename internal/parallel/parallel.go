@@ -66,6 +66,50 @@ type Pool struct {
 	// BaseSeed seeds the per-job RNGs (job i gets
 	// randutil.DeriveSeed(BaseSeed, i)).
 	BaseSeed int64
+	// OnProgress, when non-nil, is invoked after each job finishes with
+	// the number of completed jobs so far and the total. Invocations are
+	// serialized under the pool's internal lock and done is strictly
+	// increasing from 1 to total, so a consumer can render a progress
+	// meter without further synchronization. Completion order — and so
+	// which job produced the k-th call — is scheduling-dependent; only
+	// the counts are deterministic. Keep the callback cheap: it runs on
+	// worker goroutines and stalls the tally while it executes.
+	OnProgress func(done, total int)
+}
+
+// tally tracks cross-worker completion counts for one RunAll call. Its
+// counters are written by every worker goroutine, so all field access is
+// serialized by mu (flexvet's lockheld analyzer enforces the comments).
+type tally struct {
+	mu sync.Mutex
+	// done is the number of jobs that have finished, successfully or
+	// not. guarded by mu
+	done int
+	// panicked is the number of jobs whose error came from a recovered
+	// panic. guarded by mu
+	panicked int
+}
+
+// bump records one finished job and, under the same critical section,
+// reports progress — keeping (done, total) pairs monotone even when many
+// workers finish at once.
+func (t *tally) bump(panicked bool, report func(done, total int), total int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	if panicked {
+		t.panicked++
+	}
+	if report != nil {
+		report(t.done, total)
+	}
+}
+
+// counts returns the tally so far.
+func (t *tally) counts() (done, panicked int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done, t.panicked
 }
 
 // RunAll executes all jobs through the pool and returns their results in
@@ -85,7 +129,9 @@ func (p Pool) RunAll(ctx context.Context, jobs []Job) []Result {
 	}
 
 	// Workers pull indices from a shared channel; each writes only its
-	// own results[i] slot, so no further synchronization is needed.
+	// own results[i] slot, so result slots need no synchronization. The
+	// shared completion tally is mutex-guarded.
+	tl := &tally{}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -94,6 +140,7 @@ func (p Pool) RunAll(ctx context.Context, jobs []Job) []Result {
 			defer wg.Done()
 			for i := range idx {
 				results[i] = runOne(ctx, jobs[i], i, p.BaseSeed)
+				tl.bump(results[i].Panicked, p.OnProgress, len(jobs))
 			}
 		}()
 	}
