@@ -8,6 +8,7 @@
 //	        [-engine hadoop|hadoop-nospec|skewtune|flexmap] [-split 64]
 //	        [-bench wordcount] [-size-gb 20] [-reducers 0(auto)]
 //	        [-slow-fraction 0.2] [-seed 42] [-trace]
+//	        [-faults 0(crashes/node-hr)] [-fault-downtime 120]
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write the attempt trace as JSON Lines to this file")
 	inputFile := flag.String("input", "", "run LIVE over this real input file (map/reduce functions execute; overrides -size-gb)")
 	skew := flag.Float64("skew", 0, "lognormal sigma of per-block data-skew weights (0 = uniform)")
+	crashRate := flag.Float64("faults", 0, "node crash rate in crashes per node-hour (0 = no fault injection)")
+	downtime := flag.Float64("fault-downtime", 120, "mean crashed-node downtime in seconds (with -faults)")
 	flag.Parse()
 
 	var factory flexmap.ClusterFactory
@@ -67,6 +70,7 @@ func main() {
 		Seed:      *seed,
 		InputSize: *sizeGB * flexmap.GB,
 		SkewSigma: *skew,
+		Faults:    flexmap.FaultPlan{CrashRate: *crashRate, MeanDowntime: flexmap.Duration(*downtime)},
 	}
 	if *inputFile != "" {
 		data, err := os.ReadFile(*inputFile)
@@ -96,6 +100,12 @@ func main() {
 	}
 	fmt.Printf("speculative launches %d, remote bytes %d MB, repartitioned %d MB\n",
 		res.SpeculativeLaunches, res.RemoteBytesRead/flexmap.MB, res.RepartitionBytes/flexmap.MB)
+	if sc.Faults.Active() {
+		fmt.Printf("faults     %d nodes lost (%d rejoined), %d attempts crashed, %d preemptions\n",
+			res.NodesLost, res.NodesRejoined, res.AttemptsCrashed, res.Preemptions)
+		fmt.Printf("recovery   %d task retries, %d MB re-processed, %d output BUs lost, goodput %.3f\n",
+			res.TaskRetries, res.ReprocessedBytes/flexmap.MB, res.OutputBUsLost, res.Goodput(res.InputBytes))
+	}
 	if len(res.Output) > 0 {
 		fmt.Printf("live output: %d distinct keys\n", len(res.Output))
 	}
@@ -111,7 +121,9 @@ func main() {
 		fmt.Println("\ntask trace:")
 		for _, a := range res.Attempts {
 			status := "ok"
-			if a.Killed {
+			if a.Crashed {
+				status = "crashed"
+			} else if a.Killed {
 				status = "killed"
 			}
 			fmt.Printf("  %-14s %-6s node=%-2d wave=%-2d start=%7.1f end=%7.1f size=%4dMB local=%d/%d prod=%.2f %s\n",
@@ -136,7 +148,7 @@ func writeJSONTrace(path string, res *flexmap.RunResult) error {
 			"node": a.Node, "wave": a.Wave, "start": float64(a.Start),
 			"end": float64(a.End), "bytes": a.Bytes, "bus": a.BUs,
 			"localBUs": a.LocalBUs, "speculative": a.Speculative,
-			"killed": a.Killed, "productivity": a.Productivity(),
+			"killed": a.Killed, "crashed": a.Crashed, "productivity": a.Productivity(),
 		}
 		if err := enc.Encode(rec); err != nil {
 			return err

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead]
+//	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead|faults]
 //	          [-seed N] [-scale N] [-bench WC,GR,...] [-parallel N]
 //
 // -scale divides the paper's input sizes (1 = full scale). -parallel
@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, tableI, tableII, fig1, fig2, fig3, fig5, fig6, fig7, fig8, overhead, ablation, skew)")
+	exp := flag.String("exp", "all", "experiment to run (all, tableI, tableII, fig1, fig2, fig3, fig5, fig6, fig7, fig8, overhead, ablation, skew, faults)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	scale := flag.Int64("scale", 1, "divide paper input sizes by this factor")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (short names, e.g. WC,GR)")
@@ -151,6 +151,13 @@ func main() {
 	})
 	run("skew", func() (string, error) {
 		r, err := experiments.Skew(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("faults", func() (string, error) {
+		r, err := experiments.FaultTolerance(cfg)
 		if err != nil {
 			return "", err
 		}

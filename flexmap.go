@@ -36,9 +36,11 @@ import (
 	"flexmap/internal/core"
 	"flexmap/internal/dfs"
 	"flexmap/internal/engine"
+	"flexmap/internal/faults"
 	"flexmap/internal/mr"
 	"flexmap/internal/puma"
 	"flexmap/internal/runner"
+	"flexmap/internal/sim"
 )
 
 // Re-exported size units.
@@ -82,6 +84,13 @@ type (
 	Scenario = runner.Scenario
 	// RunResult bundles a JobResult with engine-specific traces.
 	RunResult = runner.Result
+	// FaultPlan parameterizes seeded fault injection (crashes, slowdowns,
+	// container preemptions). The zero value injects nothing.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault.
+	FaultEvent = faults.Event
+	// Duration is a span of simulated time in seconds.
+	Duration = sim.Duration
 )
 
 // PUMA benchmark names, re-exported.

@@ -34,8 +34,20 @@ type Node struct {
 	Slots int
 
 	interference float64 // current multiplier in (0,1]; 1 = no interference
+	down         bool    // crashed (fault injection); no heartbeats, no work
 	listeners    []func(*Node)
 }
+
+// Down reports whether the node is crashed. A down node sends no
+// NodeManager heartbeats, accepts no containers, and every task running
+// on it at crash time is dead (the AM only learns via heartbeat-timeout
+// detection — see internal/yarn's NodeWatcher).
+func (n *Node) Down() bool { return n.down }
+
+// SetDown marks the node crashed or restored. It only flips the flag:
+// killing resident work and reconciling RM capacity are the fault
+// injector's and watcher's jobs, keeping the node model mechanism-free.
+func (n *Node) SetDown(down bool) { n.down = down }
 
 // Speed returns the node's current effective speed.
 func (n *Node) Speed() float64 { return n.BaseSpeed * n.interference }

@@ -89,6 +89,10 @@ func NewAM(d *engine.Driver, rng *randutil.Source) (*AM, error) {
 	d.Result.Engine = am.Name
 	d.ReducePlacer = am.placeReducers
 	d.RM.SetScheduler(am)
+	d.SetRecovery(am)
+	// A rejoining node's pre-crash speed samples are stale (cold caches,
+	// restarted daemons): reset its window so sizing starts conservative.
+	d.OnNodeRejoin(am.monitor.ResetNode)
 	return am, nil
 }
 
@@ -104,7 +108,7 @@ func (am *AM) Sizer() *Sizer { return am.sizer }
 // OnSlotFree implements yarn.Scheduler: late task binding, then — once
 // every BU is provisioned — speculation on remaining stragglers.
 func (am *AM) OnSlotFree(node *cluster.Node) bool {
-	if am.d.MapsFinished() {
+	if am.d.Finished() || am.d.MapsFinished() {
 		return false
 	}
 	if am.tracker.Remaining() == 0 {

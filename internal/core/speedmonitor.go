@@ -87,6 +87,14 @@ func (m *SpeedMonitor) push(id cluster.NodeID, ips float64) {
 	m.samples[id] = s
 }
 
+// ResetNode clears a node's IPS window. Called when a node rejoins after
+// a crash: pre-crash samples describe machine state that no longer
+// exists (cold caches, restarted daemons), and stale speeds would
+// mis-size the first post-rejoin tasks.
+func (m *SpeedMonitor) ResetNode(id cluster.NodeID) {
+	delete(m.samples, id)
+}
+
 // GetSpeed returns the node's estimated IPS in bytes/second, or 0 when no
 // report has arrived yet.
 func (m *SpeedMonitor) GetSpeed(id cluster.NodeID) float64 {

@@ -70,6 +70,27 @@ func (t *Tracker) take(id BUID) {
 	}
 }
 
+// Restore returns BUs to the unprocessed pool — crash recovery returning
+// an elastic task's unfinished remainder (or lost committed output) to
+// the binding maps, re-indexed under every replica holder. Restoring a
+// BU that is still in the pool panics: it would let two tasks process it.
+func (t *Tracker) Restore(bus []BUID) {
+	for _, id := range bus {
+		if t.remaining[id] {
+			panic("dfs: Restore of a BU still in the binding maps")
+		}
+		t.remaining[id] = true
+		for _, nid := range t.store.NodesFor(id) {
+			m := t.nodeToBlock[nid]
+			if m == nil {
+				m = make(map[BUID]bool)
+				t.nodeToBlock[nid] = m
+			}
+			m[id] = true
+		}
+	}
+}
+
 // TakeLocal removes and returns up to n unprocessed BUs that have replicas
 // on node, in deterministic (ascending BUID) order.
 func (t *Tracker) TakeLocal(node cluster.NodeID, n int) []BUID {

@@ -50,10 +50,24 @@ type Driver struct {
 	totalInter  int64
 	partitions  []map[string][]string // live intermediate data per reducer
 
+	// Fault-recovery state. All of it is inert without fault injection:
+	// nodes never go down, so nothing is ever crashed, dropped or
+	// migrated, and event order is untouched.
+	recovery       RecoveryHandler
+	rejoinHooks    []func(cluster.NodeID)
+	crashedPending map[cluster.NodeID][]*MapAttempt
+	crashedReduces map[cluster.NodeID][]int
+	residentOutput map[cluster.NodeID][]dfs.BUID
+	residentInter  map[cluster.NodeID]int64
+	buCommits      map[dfs.BUID]int
+
 	mapPhaseStarted bool
 	mapsFinished    bool
 	reduceRemaining int
 	reduceQueues    map[cluster.NodeID][]int
+	reduceActive    map[cluster.NodeID]int
+	runningReduce   map[cluster.NodeID][]*reduceRun
+	orphanReduces   []int
 	finished        bool
 	onFinished      []func()
 }
@@ -87,8 +101,15 @@ func NewDriver(eng *sim.Engine, c *cluster.Cluster, store *dfs.Store, rm *yarn.R
 			Submitted:           eng.Now(),
 			AvailableContainers: c.TotalSlots(),
 		},
-		running:     make(map[cluster.NodeID]map[*MapAttempt]bool),
-		interByNode: make(map[cluster.NodeID]int64),
+		running:        make(map[cluster.NodeID]map[*MapAttempt]bool),
+		interByNode:    make(map[cluster.NodeID]int64),
+		crashedPending: make(map[cluster.NodeID][]*MapAttempt),
+		crashedReduces: make(map[cluster.NodeID][]int),
+		residentOutput: make(map[cluster.NodeID][]dfs.BUID),
+		residentInter:  make(map[cluster.NodeID]int64),
+		buCommits:      make(map[dfs.BUID]int),
+		reduceActive:   make(map[cluster.NodeID]int),
+		runningReduce:  make(map[cluster.NodeID][]*reduceRun),
 	}
 	for _, n := range c.Nodes {
 		d.running[n.ID] = make(map[*MapAttempt]bool)
@@ -134,7 +155,15 @@ type MapAttempt struct {
 	fetchDur    sim.Duration
 	computeAt   sim.Time
 	killed      bool
-	onDone      func(*MapAttempt)
+	crashed     bool
+	// crashDone/crashRemaining/crashProcessed snapshot SplitBUs and
+	// ProcessedBytes at the instant of the crash — taken before the work
+	// is canceled, because a canceled Work's progress is meaningless
+	// afterwards.
+	crashDone      []dfs.BUID
+	crashRemaining []dfs.BUID
+	crashProcessed int64
+	onDone         func(*MapAttempt)
 }
 
 // MapLaunch parameterizes Driver.LaunchMap.
@@ -159,6 +188,9 @@ type MapLaunch struct {
 func (d *Driver) LaunchMap(l MapLaunch) *MapAttempt {
 	if len(l.BUs) == 0 {
 		panic("engine: LaunchMap with empty split")
+	}
+	if l.Node.Down() {
+		panic("engine: LaunchMap on a down node — the RM must not offer crashed capacity")
 	}
 	a := &MapAttempt{
 		Task:        l.Task,
@@ -255,23 +287,33 @@ func (a *MapAttempt) complete() {
 // and runs the live mapper if one is attached. AMs call it exactly once
 // per *task* (the winning attempt), never for losers of a speculation
 // race — duplicated output would double shuffle volume.
+//
+// The committed output is *resident* on the attempt's node until the
+// shuffle completes: a declared node loss before the map phase closes
+// drops it again (see dropResidentOutput). Per-BU prefix commits made
+// through CommitOutputForBUs stay durable — see DESIGN.md §9.
 func (d *Driver) CommitOutput(a *MapAttempt) {
-	d.CommitOutputForBUs(a.Node.ID, a.BUs)
+	inter := d.CommitOutputForBUs(a.Node.ID, a.BUs)
+	d.residentOutput[a.Node.ID] = append(d.residentOutput[a.Node.ID], a.BUs...)
+	d.residentInter[a.Node.ID] += inter
 }
 
 // CommitOutputForBUs publishes intermediate output for a set of BUs
-// mapped on a node. SkewTune uses it directly to preserve the processed
-// prefix of a stopped straggler.
-func (d *Driver) CommitOutputForBUs(node cluster.NodeID, bus []dfs.BUID) {
+// mapped on a node and returns the intermediate bytes added. SkewTune
+// uses it directly to preserve the processed prefix of a stopped
+// straggler; FlexMap crash recovery rescues a dead attempt's prefix the
+// same way.
+func (d *Driver) CommitOutputForBUs(node cluster.NodeID, bus []dfs.BUID) int64 {
 	var bytes int64
 	for _, id := range bus {
 		bytes += d.Store.Block(id).Size
+		d.buCommits[id]++
 	}
 	inter := int64(float64(bytes) * d.Spec.ShuffleRatio)
 	d.interByNode[node] += inter
 	d.totalInter += inter
 	if d.Spec.Mapper == nil {
-		return
+		return inter
 	}
 	emit := d.liveEmit()
 	for _, id := range bus {
@@ -279,6 +321,7 @@ func (d *Driver) CommitOutputForBUs(node cluster.NodeID, bus []dfs.BUID) {
 			d.Spec.Mapper(content, emit)
 		}
 	}
+	return inter
 }
 
 // RecordAttempt appends a synthetic attempt record (SkewTune's preserved
@@ -313,12 +356,21 @@ func partitionOf(key string, r int) int {
 // repartition). It records a killed AttemptRecord and reports false if the
 // attempt had already finished or been killed. The caller releases the
 // container.
-func (a *MapAttempt) Kill() bool {
+func (a *MapAttempt) Kill() bool { return a.kill(false) }
+
+// kill implements Kill; crashed marks fault-induced termination (node
+// crash or container preemption) and snapshots the BU split for recovery.
+func (a *MapAttempt) kill(crashed bool) bool {
 	if a.phase == phaseDone || a.killed {
 		return false
 	}
-	a.killed = true
 	now := a.d.Eng.Now()
+	if crashed {
+		a.crashed = true
+		a.crashDone, a.crashRemaining = a.SplitBUs(now)
+		a.crashProcessed = a.ProcessedBytes(now)
+	}
+	a.killed = true
 	if a.phaseEv != nil {
 		a.d.Eng.Cancel(a.phaseEv)
 	}
@@ -344,12 +396,27 @@ func (a *MapAttempt) Kill() bool {
 		Wave:        a.Wave,
 		Speculative: a.Speculative,
 		Killed:      true,
+		Crashed:     crashed,
 	})
 	return true
 }
 
 // Killed reports whether the attempt was killed.
 func (a *MapAttempt) Killed() bool { return a.killed }
+
+// Crashed reports whether the attempt was terminated by a fault.
+func (a *MapAttempt) Crashed() bool { return a.crashed }
+
+// CrashSplit returns the BU split snapshotted at the instant the attempt
+// crashed: the fully-processed prefix and the unprocessed remainder. It
+// is only meaningful for crashed attempts.
+func (a *MapAttempt) CrashSplit() (done, remaining []dfs.BUID) {
+	return a.crashDone, a.crashRemaining
+}
+
+// CrashProcessedBytes returns the input bytes the attempt had processed
+// at the instant it crashed — the work a whole-split re-execution wastes.
+func (a *MapAttempt) CrashProcessedBytes() int64 { return a.crashProcessed }
 
 // Finished reports whether the attempt completed successfully.
 func (a *MapAttempt) Finished() bool { return a.phase == phaseDone && !a.killed }

@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"sort"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/dfs"
+	"flexmap/internal/mr"
+	"flexmap/internal/yarn"
+)
+
+// RecoveryHandler is the AM side of crash recovery. The driver invokes it
+// when a node's death is *delivered* — at heartbeat-timeout detection or
+// at an earlier rejoin, whichever comes first — never at the instant of
+// the crash, which the AM cannot observe.
+//
+// crashed holds the node's map attempts that died (in task order);
+// lostOutput holds committed map-output BUs that were resident on the
+// node's disk and are gone with it (empty on a rejoin before detection:
+// the disk survived). StockAM re-queues whole fixed splits with bounded
+// retry+backoff; FlexMap returns only unprocessed BUs to its binding
+// maps.
+type RecoveryHandler interface {
+	OnNodeLost(id cluster.NodeID, crashed []*MapAttempt, lostOutput []dfs.BUID)
+	// OnPreempted is delivered immediately: container preemption is a
+	// scheduler decision the AM hears about synchronously.
+	OnPreempted(a *MapAttempt)
+}
+
+// SetRecovery installs the AM's recovery handler. AM constructors call it;
+// it is required only when fault injection is active.
+func (d *Driver) SetRecovery(h RecoveryHandler) { d.recovery = h }
+
+// OnNodeRejoin registers a hook fired after a down node heartbeats again
+// (FlexMap resets the node's speed window here).
+func (d *Driver) OnNodeRejoin(fn func(cluster.NodeID)) {
+	d.rejoinHooks = append(d.rejoinHooks, fn)
+}
+
+// AttachWatcher wires heartbeat-timeout failure detection into the
+// driver: loss declarations deliver crashed work and drop resident
+// output, rejoins deliver crashed work and restore capacity. The watcher
+// stops with the job.
+func (d *Driver) AttachWatcher(w *yarn.NodeWatcher) {
+	w.OnLost(d.nodeLost)
+	w.OnRejoin(d.nodeRejoined)
+	d.OnFinished(w.Stop)
+}
+
+// CrashNode implements the fault injector's crash: the node goes silent
+// and everything running on it dies *without any notification* — the AM
+// learns at detection or rejoin. It is a no-op on an already-down node.
+func (d *Driver) CrashNode(id cluster.NodeID) {
+	n := d.Cluster.Node(id)
+	if n.Down() || d.finished {
+		return
+	}
+	n.SetDown(true)
+	for _, a := range d.RunningMapsOn(id) {
+		if a.kill(true) {
+			d.Result.AttemptsCrashed++
+			d.crashedPending[id] = append(d.crashedPending[id], a)
+		}
+	}
+	for _, rr := range append([]*reduceRun(nil), d.runningReduce[id]...) {
+		rr.crash()
+	}
+}
+
+// RestoreNode implements the fault injector's recovery end: the node
+// powers back up and resumes heartbeating. The watcher notices at its
+// next tick — re-registration, like detection, rides the heartbeat.
+func (d *Driver) RestoreNode(id cluster.NodeID) {
+	d.Cluster.Node(id).SetDown(false)
+}
+
+// PreemptContainer revokes one running map container on the node — the
+// most recently launched, as YARN's capacity scheduler preempts youngest
+// first. Unlike a crash the AM is told synchronously and pays no retry
+// penalty. It reports whether a container was preempted.
+func (d *Driver) PreemptContainer(id cluster.NodeID) bool {
+	n := d.Cluster.Node(id)
+	if n.Down() || d.finished {
+		return false
+	}
+	var victim *MapAttempt
+	for _, a := range d.RunningMapsOn(id) {
+		if victim == nil || a.Start > victim.Start ||
+			(a.Start == victim.Start && a.Task > victim.Task) {
+			victim = a
+		}
+	}
+	if victim == nil || !victim.kill(true) {
+		return false
+	}
+	d.Result.AttemptsCrashed++
+	d.Result.Preemptions++
+	if d.recovery != nil {
+		d.recovery.OnPreempted(victim)
+	}
+	victim.Container.Release()
+	return true
+}
+
+// nodeLost handles a heartbeat-timeout loss declaration: resident map
+// output is gone with the node's disk, crashed work is delivered to the
+// AM, and queued reduce work migrates to live nodes.
+func (d *Driver) nodeLost(id cluster.NodeID) {
+	if d.finished {
+		return
+	}
+	d.Result.NodesLost++
+	var lostOutput []dfs.BUID
+	if !d.mapsFinished {
+		// Reducers fetch as the map phase runs; once it closes the shuffle
+		// is modeled as complete and map output no longer lives on one disk.
+		lostOutput = d.dropResidentOutput(id)
+	}
+	d.deliverCrashed(id, lostOutput)
+	if d.mapsFinished && !d.finished {
+		if q := d.reduceQueues[id]; len(q) > 0 {
+			d.reduceQueues[id] = nil
+			d.requeueReduces(q)
+		}
+	}
+	d.RM.Poke()
+}
+
+// nodeRejoined handles a down node heartbeating again, whether or not it
+// was declared lost. Its crashed work (if not already delivered at
+// detection) is delivered now; its disk survived, so no output is lost.
+func (d *Driver) nodeRejoined(id cluster.NodeID) {
+	if d.finished {
+		return
+	}
+	d.Result.NodesRejoined++
+	d.deliverCrashed(id, nil)
+	for _, fn := range d.rejoinHooks {
+		fn(id)
+	}
+	if d.mapsFinished && !d.finished {
+		d.pumpReduces(d.Cluster.Node(id))
+	}
+}
+
+// deliverCrashed hands a node's pending crashed work to the recovery
+// handler exactly once, at min(detection, rejoin).
+func (d *Driver) deliverCrashed(id cluster.NodeID, lostOutput []dfs.BUID) {
+	crashed := d.crashedPending[id]
+	delete(d.crashedPending, id)
+	if d.recovery != nil && (len(crashed) > 0 || len(lostOutput) > 0) {
+		d.recovery.OnNodeLost(id, crashed, lostOutput)
+	}
+	if parts := d.crashedReduces[id]; len(parts) > 0 {
+		delete(d.crashedReduces, id)
+		d.requeueReduces(parts)
+	}
+}
+
+// dropResidentOutput un-commits every completed-task output BU resident
+// on the node and returns them sorted. Shuffle bookkeeping is reversed
+// with the exact intermediate bytes the commits added.
+func (d *Driver) dropResidentOutput(id cluster.NodeID) []dfs.BUID {
+	bus := d.residentOutput[id]
+	if len(bus) == 0 {
+		return nil
+	}
+	delete(d.residentOutput, id)
+	for _, bu := range bus {
+		d.buCommits[bu]--
+	}
+	inter := d.residentInter[id]
+	d.residentInter[id] = 0
+	d.interByNode[id] -= inter
+	d.totalInter -= inter
+	d.Result.OutputBUsLost += len(bus)
+	sort.Slice(bus, func(i, j int) bool { return bus[i] < bus[j] })
+	return bus
+}
+
+// FailJob aborts the run (retry budget exhausted). The job counts as
+// finished so tickers stop and the runner surfaces the failure.
+func (d *Driver) FailJob(reason string) {
+	if d.finished {
+		return
+	}
+	d.finished = true
+	d.Result.Failed = true
+	d.Result.FailReason = reason
+	d.Result.Finished = d.Eng.Now()
+	for _, fn := range d.onFinished {
+		fn()
+	}
+}
+
+// BUCommits returns a copy of the per-BU commit counts — the job's final
+// accounting. After a successful run every input BU must appear exactly
+// once, crashes or not (the exactly-once property test's invariant).
+func (d *Driver) BUCommits() map[dfs.BUID]int {
+	out := make(map[dfs.BUID]int, len(d.buCommits))
+	for id, n := range d.buCommits {
+		out[id] = n
+	}
+	return out
+}
+
+// SyntheticPrefixRecord builds the attempt record AMs log when rescuing
+// the processed prefix of a crashed attempt as a durable per-BU commit
+// (mirrors SkewTune's preserved-prefix records so successful records
+// still cover every BU exactly once).
+func SyntheticPrefixRecord(d *Driver, a *MapAttempt, done []dfs.BUID) mr.AttemptRecord {
+	var bytes int64
+	for _, id := range done {
+		bytes += d.Store.Block(id).Size
+	}
+	return mr.AttemptRecord{
+		Task:        a.Task + ".rescued",
+		Type:        mr.MapTask,
+		Node:        a.Node.ID,
+		Start:       a.Start,
+		End:         d.Eng.Now(),
+		Overhead:    d.Cost.Overhead(),
+		Bytes:       bytes,
+		BUs:         len(done),
+		Wave:        a.Wave,
+		Speculative: a.Speculative,
+	}
+}

@@ -20,8 +20,11 @@ func EvenReducePlacer(d *Driver) []cluster.NodeID {
 
 // MapsDone is called by the AM when every map task has completed. It
 // closes the map phase and either finishes the job (map-only) or starts
-// the reduce phase.
+// the reduce phase. It is a no-op after FailJob.
 func (d *Driver) MapsDone() {
+	if d.finished && d.Result.Failed {
+		return
+	}
 	if d.mapsFinished {
 		panic("engine: MapsDone called twice")
 	}
@@ -44,25 +47,121 @@ func (d *Driver) beginReducePhase() {
 	}
 	d.reduceRemaining = d.Spec.NumReducers
 	d.reduceQueues = make(map[cluster.NodeID][]int)
+	var displaced []int
 	for p, nid := range assign {
+		// Partitions placed on a currently-down node are rerouted to live
+		// nodes (never happens without fault injection).
+		if d.Cluster.Node(nid).Down() {
+			displaced = append(displaced, p)
+			continue
+		}
 		d.reduceQueues[nid] = append(d.reduceQueues[nid], p)
+	}
+	if len(displaced) > 0 {
+		d.requeueReduces(displaced)
 	}
 	// Start up to Slots reducers per node; the rest run in later waves.
 	for _, n := range d.Cluster.Nodes {
-		for i := 0; i < n.Slots; i++ {
-			d.startNextReduce(n)
-		}
+		d.pumpReduces(n)
 	}
 }
 
-func (d *Driver) startNextReduce(n *cluster.Node) {
-	queue := d.reduceQueues[n.ID]
-	if len(queue) == 0 {
+// pumpReduces fills the node's free reduce slots from its queue, then
+// from the orphan pool (partitions stranded when every node was down).
+func (d *Driver) pumpReduces(n *cluster.Node) {
+	if n.Down() || d.finished {
 		return
 	}
-	p := queue[0]
-	d.reduceQueues[n.ID] = queue[1:]
-	d.runReduce(p, n)
+	for d.reduceActive[n.ID] < n.Slots {
+		if q := d.reduceQueues[n.ID]; len(q) > 0 {
+			d.reduceQueues[n.ID] = q[1:]
+			d.runReduce(q[0], n)
+			continue
+		}
+		if len(d.orphanReduces) > 0 {
+			p := d.orphanReduces[0]
+			d.orphanReduces = d.orphanReduces[1:]
+			d.runReduce(p, n)
+			continue
+		}
+		return
+	}
+}
+
+// requeueReduces redistributes displaced reduce partitions round-robin
+// over live nodes (orphaning them if the whole cluster is down) and
+// pumps the receiving nodes.
+func (d *Driver) requeueReduces(parts []int) {
+	if len(parts) == 0 {
+		return
+	}
+	var up []*cluster.Node
+	for _, n := range d.Cluster.Nodes {
+		if !n.Down() {
+			up = append(up, n)
+		}
+	}
+	if len(up) == 0 {
+		d.orphanReduces = append(d.orphanReduces, parts...)
+		return
+	}
+	for i, p := range parts {
+		d.reduceQueues[up[i%len(up)].ID] = append(d.reduceQueues[up[i%len(up)].ID], p)
+	}
+	for _, n := range up {
+		d.pumpReduces(n)
+	}
+}
+
+// reduceRun is one in-flight reduce attempt, cancelable on node crash.
+type reduceRun struct {
+	d         *Driver
+	p         int
+	node      *cluster.Node
+	start     sim.Time
+	partBytes int64
+	ev        *sim.Event // pending overhead+fetch event
+	work      *Work      // compute work once fetching is done
+}
+
+// crash cancels the attempt when its node dies: a crashed AttemptRecord
+// is logged and the partition is stashed for requeue at delivery time.
+func (rr *reduceRun) crash() {
+	d := rr.d
+	if rr.ev != nil {
+		d.Eng.Cancel(rr.ev)
+	}
+	if rr.work != nil {
+		d.Exec.Cancel(rr.work)
+	}
+	d.detachReduce(rr)
+	now := d.Eng.Now()
+	d.Result.Attempts = append(d.Result.Attempts, mr.AttemptRecord{
+		Task:     reduceTaskName(rr.p),
+		Type:     mr.ReduceTask,
+		Node:     rr.node.ID,
+		Start:    rr.start,
+		End:      now,
+		Overhead: d.Cost.Overhead(),
+		Bytes:    rr.partBytes,
+		Killed:   true,
+		Crashed:  true,
+	})
+	d.Result.AttemptsCrashed++
+	d.Result.TaskRetries++
+	d.crashedReduces[rr.node.ID] = append(d.crashedReduces[rr.node.ID], rr.p)
+}
+
+// detachReduce removes the run from the node's in-flight bookkeeping.
+func (d *Driver) detachReduce(rr *reduceRun) {
+	list := d.runningReduce[rr.node.ID]
+	for i, other := range list {
+		if other == rr {
+			d.runningReduce[rr.node.ID] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	d.reduceActive[rr.node.ID]--
 }
 
 // runReduce executes one reduce attempt: overhead, shuffle fetch of the
@@ -77,7 +176,15 @@ func (d *Driver) runReduce(p int, n *cluster.Node) {
 	}
 	fetchDur := sim.Duration(float64(remote) / (d.Cluster.NetBW * float64(MB)))
 
+	rr := &reduceRun{d: d, p: p, node: n, start: start, partBytes: partBytes}
+	d.reduceActive[n.ID]++
+	d.runningReduce[n.ID] = append(d.runningReduce[n.ID], rr)
+
 	finish := func() {
+		if d.finished {
+			return
+		}
+		d.detachReduce(rr)
 		now := d.Eng.Now()
 		d.Result.Attempts = append(d.Result.Attempts, mr.AttemptRecord{
 			Task:      reduceTaskName(p),
@@ -95,16 +202,17 @@ func (d *Driver) runReduce(p int, n *cluster.Node) {
 			d.finishJob()
 			return
 		}
-		d.startNextReduce(n)
+		d.pumpReduces(n)
 	}
 
-	d.Eng.After(d.Cost.Overhead()+fetchDur, "reduce-fetch", func() {
+	rr.ev = d.Eng.After(d.Cost.Overhead()+fetchDur, "reduce-fetch", func() {
+		rr.ev = nil
 		units := float64(partBytes) * d.Spec.ReduceCost
 		if units <= 0 {
 			finish()
 			return
 		}
-		d.Exec.Start(n, units, finish)
+		rr.work = d.Exec.Start(n, units, finish)
 	})
 }
 
@@ -147,6 +255,9 @@ func (d *Driver) runLiveReducers() {
 
 func (d *Driver) finishJob() {
 	if d.finished {
+		if d.Result.Failed {
+			return
+		}
 		panic("engine: job finished twice")
 	}
 	d.finished = true

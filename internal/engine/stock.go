@@ -55,6 +55,22 @@ type StockAM struct {
 	waveByNode      map[cluster.NodeID]int
 	remoteAllowedAt map[cluster.NodeID]sim.Time
 	activeSpec      int
+
+	// MaxTaskAttempts bounds executions of one task (Hadoop's
+	// mapreduce.map.maxattempts, default 4): the job fails when a task
+	// crashes that many times.
+	MaxTaskAttempts int
+	// RetryBackoff is the base re-queue delay after a crash; it doubles
+	// per retry of the same task (capped at 60 s).
+	RetryBackoff sim.Duration
+
+	// Crash-recovery bookkeeping: the immutable split of every task (to
+	// re-queue it whole — stock has no sub-split granularity), the task
+	// owning each BU (to map lost output back to tasks), and per-task
+	// crash counts.
+	splitByTask map[string]PendingSplit
+	taskOfBU    map[dfs.BUID]string
+	retries     map[string]int
 }
 
 // NewStockAM builds the stock AM over fixed splits of splitBUs block
@@ -68,11 +84,16 @@ func NewStockAM(d *Driver, splitBUs int, speculation SpeculationPolicy) (*StockA
 		Name:            fmt.Sprintf("hadoop-%dm", int64(splitBUs)*dfs.BUSize/MB),
 		LocalityWait:    1.0,
 		Speculation:     speculation,
+		MaxTaskAttempts: 4,
+		RetryBackoff:    5.0,
 		d:               d,
 		attempts:        make(map[string][]*MapAttempt),
 		completed:       make(map[string]bool),
 		waveByNode:      make(map[cluster.NodeID]int),
 		remoteAllowedAt: make(map[cluster.NodeID]sim.Time),
+		splitByTask:     make(map[string]PendingSplit),
+		taskOfBU:        make(map[dfs.BUID]string),
+		retries:         make(map[string]int),
 	}
 	for _, sp := range splits {
 		am.pending = append(am.pending, PendingSplit{
@@ -82,9 +103,21 @@ func NewStockAM(d *Driver, splitBUs int, speculation SpeculationPolicy) (*StockA
 		})
 	}
 	am.tasksRemaining = len(am.pending)
+	for _, p := range am.pending {
+		am.indexSplit(p)
+	}
 	d.Result.Engine = am.Name
 	d.RM.SetScheduler(am)
+	d.SetRecovery(am)
 	return am, nil
+}
+
+// indexSplit records a task's split for crash recovery.
+func (am *StockAM) indexSplit(p PendingSplit) {
+	am.splitByTask[p.Task] = p
+	for _, id := range p.BUs {
+		am.taskOfBU[id] = p.Task
+	}
 }
 
 // Driver returns the underlying driver.
@@ -102,12 +135,13 @@ func (am *StockAM) TasksRemaining() int { return am.tasksRemaining }
 func (am *StockAM) AddPending(p PendingSplit, delta int) {
 	am.pending = append(am.pending, p)
 	am.tasksRemaining += delta
+	am.indexSplit(p)
 	am.d.RM.Poke()
 }
 
 // OnSlotFree implements yarn.Scheduler.
 func (am *StockAM) OnSlotFree(node *cluster.Node) bool {
-	if am.d.MapsFinished() {
+	if am.d.Finished() || am.d.MapsFinished() {
 		return false // reduce phase is driven by the Driver
 	}
 	return am.TryDispatch(node)
@@ -238,6 +272,134 @@ func (am *StockAM) KillTaskAttempts(task string) []*MapAttempt {
 	}
 	delete(am.attempts, task)
 	return killed
+}
+
+// OnNodeLost implements RecoveryHandler: stock Hadoop has no sub-split
+// granularity, so every crashed attempt re-queues its *whole* fixed
+// split, with bounded retries and exponential backoff. Committed output
+// lost with the node forces the owning tasks to re-execute so unfetched
+// reducers can still shuffle their partitions.
+func (am *StockAM) OnNodeLost(id cluster.NodeID, crashed []*MapAttempt, lostOutput []dfs.BUID) {
+	for _, a := range crashed {
+		if a.Speculative {
+			am.activeSpec--
+		}
+		am.dropAttempt(a)
+		if am.completed[a.Task] || len(am.attempts[a.Task]) > 0 {
+			continue // committed, or a live copy is still racing
+		}
+		am.retries[a.Task]++
+		if am.retries[a.Task] >= am.MaxTaskAttempts {
+			am.d.FailJob(fmt.Sprintf("task %s crashed %d times (max attempts %d)",
+				a.Task, am.retries[a.Task], am.MaxTaskAttempts))
+			return
+		}
+		am.requeueWithBackoff(a.Task, a.CrashProcessedBytes())
+	}
+	for _, task := range am.ownersOf(lostOutput) {
+		if !am.completed[task] {
+			continue // already pending or running again; it will recommit
+		}
+		am.completed[task] = false
+		am.tasksRemaining++
+		sp := am.splitByTask[task]
+		am.d.Result.TaskRetries++
+		am.d.Result.ReprocessedBytes += am.splitBytes(sp)
+		am.pending = append(am.pending, sp)
+	}
+	// The driver pokes the RM after delivery.
+}
+
+// OnPreempted implements RecoveryHandler: preemption is scheduler-
+// initiated, so the split re-queues immediately with no retry charged.
+func (am *StockAM) OnPreempted(a *MapAttempt) {
+	if a.Speculative {
+		am.activeSpec--
+	}
+	am.dropAttempt(a)
+	if am.completed[a.Task] || len(am.attempts[a.Task]) > 0 {
+		return
+	}
+	sp := am.splitByTask[a.Task]
+	am.d.Result.TaskRetries++
+	am.d.Result.ReprocessedBytes += a.CrashProcessedBytes()
+	am.pending = append(am.pending, sp)
+	am.d.RM.Poke()
+}
+
+// requeueWithBackoff re-queues a crashed task's split after an
+// exponentially growing delay (base RetryBackoff, doubling per crash of
+// the task, capped at 60 s) — Hadoop's re-attempt pacing. waste is the
+// crashed attempt's processed-at-crash bytes, charged as re-processed
+// work (the whole-split re-run redoes exactly that much).
+func (am *StockAM) requeueWithBackoff(task string, waste int64) {
+	sp, ok := am.splitByTask[task]
+	if !ok {
+		panic(fmt.Sprintf("engine: crashed task %s has no indexed split", task))
+	}
+	am.d.Result.TaskRetries++
+	am.d.Result.ReprocessedBytes += waste
+	backoff := am.RetryBackoff
+	for i := 1; i < am.retries[task]; i++ {
+		backoff *= 2
+	}
+	if backoff > 60 {
+		backoff = 60
+	}
+	am.d.Eng.After(backoff, "map-retry", func() {
+		if am.d.Finished() || am.completed[task] {
+			return
+		}
+		am.pending = append(am.pending, sp)
+		am.d.RM.Poke()
+	})
+}
+
+// dropAttempt removes a dead attempt from the task's live-attempt list.
+func (am *StockAM) dropAttempt(a *MapAttempt) {
+	list := am.attempts[a.Task]
+	for i, other := range list {
+		if other == a {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(am.attempts, a.Task)
+	} else {
+		am.attempts[a.Task] = list
+	}
+}
+
+// ownersOf maps lost output BUs to their owning tasks, deduplicated and
+// sorted for deterministic re-queue order.
+func (am *StockAM) ownersOf(bus []dfs.BUID) []string {
+	if len(bus) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, id := range bus {
+		task, ok := am.taskOfBU[id]
+		if !ok {
+			panic(fmt.Sprintf("engine: lost output BU %d has no owning task", id))
+		}
+		if !seen[task] {
+			seen[task] = true
+			out = append(out, task)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// splitBytes sums a split's input bytes.
+func (am *StockAM) splitBytes(p PendingSplit) int64 {
+	var b int64
+	for _, id := range p.BUs {
+		b += am.d.Store.Block(id).Size
+	}
+	return b
 }
 
 func (am *StockAM) trySpeculate(node *cluster.Node) bool {

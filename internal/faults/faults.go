@@ -1,0 +1,190 @@
+// Package faults generates seeded, deterministic fault schedules for the
+// simulator — node crashes with downtime, transient slowdowns, and
+// container preemptions — and injects them into a running job.
+//
+// A Plan is declarative: Schedule derives the complete fault timeline as
+// a pure function of (plan, seed, cluster size), with per-node streams
+// split via randutil.DeriveSeed. The same plan and seed always produce
+// the same schedule, whether generated before or during a run, serially
+// or across worker goroutines — the property the fault-grid determinism
+// tests pin down. The schedule is also replayable: it can be inspected,
+// logged, or re-injected into another run unchanged.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/randutil"
+	"flexmap/internal/sim"
+)
+
+// Kind is a fault event type.
+type Kind int
+
+// Fault kinds, in injection-priority order for same-instant ties.
+const (
+	Crash Kind = iota
+	Slowdown
+	Preempt
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Slowdown:
+		return "slowdown"
+	case Preempt:
+		return "preempt"
+	}
+	return fmt.Sprintf("kind-%d", int(k))
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At   sim.Time
+	Node cluster.NodeID
+	Kind Kind
+	// Duration is the node's downtime (Crash) or the slowdown span
+	// (Slowdown); unused for Preempt.
+	Duration sim.Duration
+	// Factor is the interference multiplier applied during a Slowdown.
+	Factor float64
+}
+
+// Plan declares a fault workload. The zero value injects nothing
+// (Active reports false); rates are expected events per node-hour, drawn
+// as independent Poisson processes per node and per kind.
+type Plan struct {
+	// CrashRate is expected node crashes per node-hour. A crashed node
+	// goes silent, killing everything on it, and restores after a
+	// downtime drawn exponentially around MeanDowntime.
+	CrashRate float64
+	// MeanDowntime is the mean crash downtime in virtual seconds
+	// (default 120; floored at 20 so restores stay observable).
+	MeanDowntime sim.Duration
+
+	// SlowdownRate is expected transient slowdowns per node-hour; each
+	// applies an interference multiplier drawn uniformly from
+	// [MinSlowFactor, MaxSlowFactor] (defaults 0.2–0.5) for a duration
+	// drawn exponentially around MeanSlowdown (default 300 s).
+	SlowdownRate  float64
+	MeanSlowdown  sim.Duration
+	MinSlowFactor float64
+	MaxSlowFactor float64
+
+	// PreemptRate is expected container preemptions per node-hour.
+	PreemptRate float64
+
+	// Horizon bounds fault arrival times (default 14400 s = 4 h); jobs
+	// outlasting it run fault-free afterwards.
+	Horizon sim.Time
+
+	// MaxPerNode caps events per node per kind (default 64) as a guard
+	// against degenerate rate settings.
+	MaxPerNode int
+}
+
+// Active reports whether the plan injects any faults. Inactive plans
+// cost nothing: runner skips the watcher and injector entirely, keeping
+// fault-free runs byte-identical to a build without this package.
+func (p Plan) Active() bool {
+	return p.CrashRate > 0 || p.SlowdownRate > 0 || p.PreemptRate > 0
+}
+
+// withDefaults fills zero-valued knobs.
+func (p Plan) withDefaults() Plan {
+	if p.MeanDowntime <= 0 {
+		p.MeanDowntime = 120
+	}
+	if p.MeanSlowdown <= 0 {
+		p.MeanSlowdown = 300
+	}
+	if p.MinSlowFactor <= 0 {
+		p.MinSlowFactor = 0.2
+	}
+	if p.MaxSlowFactor <= 0 {
+		p.MaxSlowFactor = 0.5
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 14400
+	}
+	if p.MaxPerNode <= 0 {
+		p.MaxPerNode = 64
+	}
+	return p
+}
+
+// Schedule derives the full fault timeline for an n-node cluster — a
+// pure function of (plan, seed, n). Events are sorted by (At, Node,
+// Kind) so injection order is deterministic even for same-instant
+// arrivals on different nodes.
+func (p Plan) Schedule(seed int64, n int) []Event {
+	if !p.Active() {
+		return nil
+	}
+	p = p.withDefaults()
+	var events []Event
+	for i := 0; i < n; i++ {
+		rng := randutil.New(randutil.DeriveSeed(seed, i))
+		events = append(events, p.nodeEvents(cluster.NodeID(i), rng)...)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Kind < b.Kind
+	})
+	return events
+}
+
+// nodeEvents draws one node's Poisson arrival streams. Each kind uses an
+// independent sub-stream split by label, so enabling one fault kind
+// never perturbs another's timeline.
+func (p Plan) nodeEvents(id cluster.NodeID, rng *randutil.Source) []Event {
+	var out []Event
+	out = append(out, p.arrivals(id, rng.Split("crash"), Crash, p.CrashRate)...)
+	out = append(out, p.arrivals(id, rng.Split("slowdown"), Slowdown, p.SlowdownRate)...)
+	out = append(out, p.arrivals(id, rng.Split("preempt"), Preempt, p.PreemptRate)...)
+	return out
+}
+
+// arrivals draws one Poisson process of the given per-node-hour rate up
+// to the horizon, filling kind-specific payloads.
+func (p Plan) arrivals(id cluster.NodeID, rng *randutil.Source, kind Kind, perHour float64) []Event {
+	if perHour <= 0 {
+		return nil
+	}
+	perSec := perHour / 3600
+	var out []Event
+	t := sim.Time(0)
+	for len(out) < p.MaxPerNode {
+		t += sim.Time(rng.ExpFloat64() / perSec)
+		if t > p.Horizon {
+			break
+		}
+		ev := Event{At: t, Node: id, Kind: kind}
+		switch kind {
+		case Crash:
+			ev.Duration = p.MeanDowntime * sim.Duration(rng.ExpFloat64())
+			if ev.Duration < 20 {
+				ev.Duration = 20
+			}
+		case Slowdown:
+			ev.Duration = p.MeanSlowdown * sim.Duration(rng.ExpFloat64())
+			if ev.Duration < 10 {
+				ev.Duration = 10
+			}
+			ev.Factor = p.MinSlowFactor + rng.Float64()*(p.MaxSlowFactor-p.MinSlowFactor)
+		}
+		out = append(out, ev)
+	}
+	return out
+}

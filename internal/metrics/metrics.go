@@ -48,6 +48,33 @@ func Summarize(r *mr.JobResult) Summary {
 	}
 }
 
+// FaultSummary condenses one run's failure-and-recovery counters — the
+// per-cell numbers of the fault-tolerance figure.
+type FaultSummary struct {
+	Engine           string
+	NodesLost        int
+	NodesRejoined    int
+	AttemptsCrashed  int
+	Preemptions      int
+	TaskRetries      int
+	ReprocessedBytes int64
+	OutputBUsLost    int
+}
+
+// SummarizeFaults extracts a FaultSummary from a job result.
+func SummarizeFaults(r *mr.JobResult) FaultSummary {
+	return FaultSummary{
+		Engine:           r.Engine,
+		NodesLost:        r.NodesLost,
+		NodesRejoined:    r.NodesRejoined,
+		AttemptsCrashed:  r.AttemptsCrashed,
+		Preemptions:      r.Preemptions,
+		TaskRetries:      r.TaskRetries,
+		ReprocessedBytes: r.ReprocessedBytes,
+		OutputBUsLost:    r.OutputBUsLost,
+	}
+}
+
 // MapRuntimes returns the runtimes of successful map attempts, sorted
 // ascending (the series behind Fig. 1).
 func MapRuntimes(r *mr.JobResult) []float64 {

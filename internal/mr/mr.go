@@ -96,6 +96,7 @@ type AttemptRecord struct {
 	Wave        int          // execution wave on the node (map only)
 	Speculative bool         // speculative copy
 	Killed      bool         // stopped before completion (lost the race, or repartitioned)
+	Crashed     bool         // terminated by a fault (node crash or container preemption)
 }
 
 // Runtime returns the attempt's total runtime.
@@ -138,6 +139,45 @@ type JobResult struct {
 	RepartitionBytes int64
 	// SpeculativeLaunches counts speculative attempts started.
 	SpeculativeLaunches int
+
+	// Fault-tolerance accounting (all zero without fault injection).
+	//
+	// NodesLost counts heartbeat-timeout loss declarations; NodesRejoined
+	// counts down→up transitions the watcher observed (including brief
+	// outages shorter than the detection timeout).
+	NodesLost     int
+	NodesRejoined int
+	// AttemptsCrashed counts task attempts terminated by node crashes or
+	// container preemptions.
+	AttemptsCrashed int
+	// Preemptions counts containers revoked by the fault injector.
+	Preemptions int
+	// TaskRetries counts recovery re-queues: whole fixed splits for stock
+	// Hadoop, BU batches returned to the binding maps for FlexMap.
+	TaskRetries int
+	// ReprocessedBytes counts input bytes re-queued for execution by
+	// recovery — the work the cluster does twice. Stock re-queues whole
+	// splits; FlexMap only the BUs a crashed elastic task had not finished
+	// plus any committed output lost with a node's disk.
+	ReprocessedBytes int64
+	// OutputBUsLost counts committed map-output BUs lost with crashed
+	// nodes before the shuffle completed (each forces re-execution).
+	OutputBUsLost int
+
+	// Failed marks a run aborted by recovery policy (a task exhausted its
+	// retry budget). FailReason says why.
+	Failed     bool
+	FailReason string
+}
+
+// Goodput returns the fraction of useful map input work: input bytes over
+// input plus re-processed bytes. 1.0 for a fault-free run.
+func (r *JobResult) Goodput(inputBytes int64) float64 {
+	total := inputBytes + r.ReprocessedBytes
+	if total <= 0 {
+		return 1.0
+	}
+	return float64(inputBytes) / float64(total)
 }
 
 // JCT returns the job completion time.

@@ -11,6 +11,7 @@ import (
 	"flexmap/internal/core"
 	"flexmap/internal/dfs"
 	"flexmap/internal/engine"
+	"flexmap/internal/faults"
 	"flexmap/internal/mr"
 	"flexmap/internal/randutil"
 	"flexmap/internal/sim"
@@ -101,6 +102,15 @@ type Scenario struct {
 	// skew, the phenomenon SkewTune targets.
 	SkewSigma float64
 
+	// Faults injects seeded node crashes, transient slowdowns and
+	// container preemptions (see internal/faults). The zero value injects
+	// nothing and adds nothing to the run — no watcher, no injector, no
+	// extra events — so fault-free output is byte-identical with or
+	// without this field existing. The schedule derives from Seed via the
+	// "faults" split, so enabling faults never perturbs placement, noise
+	// or scheduling randomness.
+	Faults faults.Plan
+
 	// MaxSimTime bounds the virtual clock (guard against scheduling
 	// bugs); default 30 days.
 	MaxSimTime sim.Time
@@ -113,6 +123,28 @@ type Result struct {
 	SizeTrace []core.SizeSample
 	// Cluster is the post-run cluster (for inspecting node state).
 	Cluster *cluster.Cluster
+	// BUCommits is the final per-BU commit count — the exactly-once
+	// accounting the fault property tests assert over (every input BU
+	// maps to exactly 1 after a successful run, crashes or not).
+	BUCommits map[dfs.BUID]int
+	// InputBytes is the modeled input size (goodput denominator).
+	InputBytes int64
+}
+
+// JobFailedError reports a job that terminated itself — stock Hadoop
+// gives a job up when one task exhausts its bounded retries under crash
+// injection. The partial Result is attached so fault-tolerance harnesses
+// can render the failure as an experimental outcome rather than an
+// infrastructure error.
+type JobFailedError struct {
+	Job    string
+	Engine string
+	Reason string
+	Result *Result
+}
+
+func (e *JobFailedError) Error() string {
+	return fmt.Sprintf("runner: job %q under %s failed: %s", e.Job, e.Engine, e.Reason)
 }
 
 // Run executes one job under one engine and returns its result.
@@ -206,18 +238,51 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 	// would collide in comparisons that include the no-spec ablation.
 	driver.Result.Engine = eng.String()
 
+	if sc.Faults.Active() {
+		if sc.InputData != nil {
+			return nil, fmt.Errorf("runner: scenario %q combines fault injection with live input data (re-execution would duplicate live mapper output)", sc.Name)
+		}
+		if eng.Kind == SkewTune {
+			return nil, fmt.Errorf("runner: fault injection is not supported for %s (repartition/recovery interplay is unmodeled)", eng)
+		}
+		watcher := yarn.NewNodeWatcher(simEng, clus, rm)
+		driver.AttachWatcher(watcher)
+		inj := faults.NewInjector(simEng, clus,
+			sc.Faults.Schedule(rng.Split("faults").Seed(), clus.Size()), driver)
+		driver.OnFinished(inj.Stop)
+		inj.Start()
+	}
+
 	rm.Start()
 	deadline := sc.MaxSimTime
 	if deadline == 0 {
 		deadline = 30 * 24 * 3600
 	}
 	simEng.RunUntil(deadline)
+	if driver.Result.Failed {
+		return nil, &JobFailedError{
+			Job:    spec.Name,
+			Engine: eng.String(),
+			Reason: driver.Result.FailReason,
+			Result: &Result{
+				JobResult:  driver.Result,
+				Cluster:    clus,
+				BUCommits:  driver.BUCommits(),
+				InputBytes: sc.InputSize,
+			},
+		}
+	}
 	if !driver.Finished() {
 		return nil, fmt.Errorf("runner: job %q under %s did not finish by t=%v (scheduler hang?)",
 			spec.Name, eng, deadline)
 	}
 
-	out := &Result{JobResult: driver.Result, Cluster: clus}
+	out := &Result{
+		JobResult:  driver.Result,
+		Cluster:    clus,
+		BUCommits:  driver.BUCommits(),
+		InputBytes: sc.InputSize,
+	}
 	if flexAM != nil {
 		out.SizeTrace = flexAM.SizeTrace
 	}

@@ -65,11 +65,11 @@ func (am *AM) Stock() *engine.StockAM { return am.stock }
 // OnSlotFree implements yarn.Scheduler: normal dispatch first, then skew
 // mitigation on idle capacity.
 func (am *AM) OnSlotFree(node *cluster.Node) bool {
+	if am.d.Finished() || am.d.MapsFinished() {
+		return false
+	}
 	if am.stock.TryDispatch(node) {
 		return true
-	}
-	if am.d.MapsFinished() {
-		return false
 	}
 	if am.stock.PendingCount() > 0 {
 		// Pending work exists but was declined (locality wait); don't

@@ -1,0 +1,105 @@
+package yarn
+
+import (
+	"flexmap/internal/cluster"
+	"flexmap/internal/sim"
+)
+
+// Liveness defaults: NodeManagers heartbeat every 5 seconds and a node
+// missing 3 consecutive beats is declared lost, so failure detection
+// latency is at most MissThreshold × Period (+ up to one tick of phase).
+const (
+	DefaultLivenessPeriod sim.Duration = 5
+	DefaultMissThreshold               = 3
+)
+
+// NodeWatcher is the RM's liveness tracker: it observes NodeManager
+// heartbeats on a fixed period and declares a node lost after
+// MissThreshold consecutive missed beats. When a lost (or briefly down)
+// node heartbeats again it is re-registered with the RM and rejoin
+// callbacks fire — the hook the driver uses to deliver crashed work and
+// the FlexMap AM uses to reset the node's stale speed window.
+//
+// Without fault injection no node ever goes down, so a watcher is pure
+// overhead; runner only creates one when the fault plan is active.
+type NodeWatcher struct {
+	// Period is the NodeManager heartbeat interval.
+	Period sim.Duration
+	// MissThreshold is the number of consecutive missed heartbeats after
+	// which a node is declared lost.
+	MissThreshold int
+
+	eng      *sim.Engine
+	c        *cluster.Cluster
+	rm       *RM
+	lastBeat map[cluster.NodeID]sim.Time
+	lost     map[cluster.NodeID]bool
+	wasDown  map[cluster.NodeID]bool
+	onLost   []func(cluster.NodeID)
+	onRejoin []func(cluster.NodeID)
+	ticker   *sim.Ticker
+}
+
+// NewNodeWatcher starts liveness tracking over the cluster with the
+// default period and threshold. All nodes are assumed live at start.
+func NewNodeWatcher(eng *sim.Engine, c *cluster.Cluster, rm *RM) *NodeWatcher {
+	w := &NodeWatcher{
+		Period:        DefaultLivenessPeriod,
+		MissThreshold: DefaultMissThreshold,
+		eng:           eng,
+		c:             c,
+		rm:            rm,
+		lastBeat:      make(map[cluster.NodeID]sim.Time, c.Size()),
+		lost:          make(map[cluster.NodeID]bool, c.Size()),
+		wasDown:       make(map[cluster.NodeID]bool, c.Size()),
+	}
+	for _, n := range c.Nodes {
+		w.lastBeat[n.ID] = eng.Now()
+	}
+	w.ticker = sim.NewTicker(eng, w.Period, "nm-liveness", w.tick)
+	return w
+}
+
+// OnLost registers a callback fired when a node is declared lost.
+func (w *NodeWatcher) OnLost(fn func(cluster.NodeID)) { w.onLost = append(w.onLost, fn) }
+
+// OnRejoin registers a callback fired when a down node heartbeats again —
+// after a declared loss or a brief outage shorter than the timeout.
+func (w *NodeWatcher) OnRejoin(fn func(cluster.NodeID)) { w.onRejoin = append(w.onRejoin, fn) }
+
+// Lost reports whether the node is currently declared lost.
+func (w *NodeWatcher) Lost(id cluster.NodeID) bool { return w.lost[id] }
+
+// Stop halts the liveness ticker (wired to Driver.OnFinished).
+func (w *NodeWatcher) Stop() { w.ticker.Stop() }
+
+// tick is one heartbeat round. Nodes are visited in cluster order, so
+// same-instant detections and rejoins fire deterministically.
+func (w *NodeWatcher) tick(now sim.Time) {
+	for _, n := range w.c.Nodes {
+		if !n.Down() {
+			rejoined := w.lost[n.ID] || w.wasDown[n.ID]
+			w.lost[n.ID] = false
+			w.wasDown[n.ID] = false
+			w.lastBeat[n.ID] = now
+			if rejoined {
+				// Re-registration: the restored node's first heartbeat. Even
+				// after an outage too brief to be declared, its containers
+				// died, so capacity is reconciled and rejoin hooks fire.
+				w.rm.NodeRestored(n.ID)
+				for _, fn := range w.onRejoin {
+					fn(n.ID)
+				}
+			}
+			continue
+		}
+		w.wasDown[n.ID] = true
+		if !w.lost[n.ID] && sim.Duration(now-w.lastBeat[n.ID]) >= w.Period*sim.Duration(w.MissThreshold) {
+			w.lost[n.ID] = true
+			w.rm.NodeLost(n.ID)
+			for _, fn := range w.onLost {
+				fn(n.ID)
+			}
+		}
+	}
+}

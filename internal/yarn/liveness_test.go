@@ -1,0 +1,120 @@
+package yarn
+
+import (
+	"testing"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/sim"
+)
+
+// livenessHarness wires a watcher over a homogeneous cluster with a
+// scheduler that accepts nothing (capacity stays observable).
+type livenessHarness struct {
+	eng     *sim.Engine
+	c       *cluster.Cluster
+	rm      *RM
+	w       *NodeWatcher
+	lost    []cluster.NodeID
+	rejoins []cluster.NodeID
+}
+
+func newLivenessHarness(nodes int) *livenessHarness {
+	eng := sim.New()
+	c := cluster.Homogeneous(nodes)
+	rm := NewRM(eng, c)
+	rm.SetScheduler(&acceptN{rm: rm, n: 0})
+	h := &livenessHarness{eng: eng, c: c, rm: rm, w: NewNodeWatcher(eng, c, rm)}
+	h.w.OnLost(func(id cluster.NodeID) { h.lost = append(h.lost, id) })
+	h.w.OnRejoin(func(id cluster.NodeID) { h.rejoins = append(h.rejoins, id) })
+	rm.Start()
+	return h
+}
+
+// TestLossDeclaredAtThirdMissedBeat pins the detection boundary: with a
+// 5 s period and threshold 3, a node that goes silent just after a beat
+// is NOT lost while only 2 beats are missed, and IS lost at the tick
+// where the third beat goes missing.
+func TestLossDeclaredAtThirdMissedBeat(t *testing.T) {
+	h := newLivenessHarness(2)
+	// Last heartbeat observed at t=5; node dies right after.
+	h.eng.At(6, "crash", func() { h.c.Node(0).SetDown(true) })
+
+	h.eng.RunUntil(15) // beats at 10, 15 missed — only 2
+	if h.w.Lost(0) {
+		t.Fatal("node declared lost after 2 missed beats (N-1)")
+	}
+	if len(h.lost) != 0 {
+		t.Fatalf("lost callbacks = %v, want none yet", h.lost)
+	}
+
+	h.eng.RunUntil(20) // third missed beat
+	if !h.w.Lost(0) {
+		t.Fatal("node not declared lost after 3 missed beats")
+	}
+	if len(h.lost) != 1 || h.lost[0] != 0 {
+		t.Fatalf("lost callbacks = %v, want [0]", h.lost)
+	}
+	if free := h.rm.TotalFree(); free != h.c.Node(1).Slots {
+		t.Fatalf("free slots after loss = %d, want only node 1's %d", free, h.c.Node(1).Slots)
+	}
+}
+
+func TestRejoinRestoresCapacityAndFires(t *testing.T) {
+	h := newLivenessHarness(2)
+	h.eng.At(6, "crash", func() { h.c.Node(0).SetDown(true) })
+	h.eng.At(42, "restore", func() { h.c.Node(0).SetDown(false) })
+	h.eng.RunUntil(100)
+	if h.w.Lost(0) {
+		t.Fatal("node still marked lost after rejoin")
+	}
+	if len(h.rejoins) != 1 || h.rejoins[0] != 0 {
+		t.Fatalf("rejoin callbacks = %v, want [0]", h.rejoins)
+	}
+	if free := h.rm.TotalFree(); free != h.c.TotalSlots() {
+		t.Fatalf("free slots after rejoin = %d, want full %d", free, h.c.TotalSlots())
+	}
+}
+
+// A blip shorter than the timeout is never declared lost, but the
+// node's containers still died: the first heartbeat after the outage
+// reconciles capacity and fires rejoin hooks.
+func TestBriefOutageRejoinsWithoutLoss(t *testing.T) {
+	h := newLivenessHarness(2)
+	h.eng.At(6, "crash", func() { h.c.Node(0).SetDown(true) })
+	h.eng.At(12, "restore", func() { h.c.Node(0).SetDown(false) })
+	h.eng.RunUntil(60)
+	if len(h.lost) != 0 {
+		t.Fatalf("brief outage declared lost: %v", h.lost)
+	}
+	if len(h.rejoins) != 1 || h.rejoins[0] != 0 {
+		t.Fatalf("rejoin callbacks = %v, want [0]", h.rejoins)
+	}
+}
+
+func TestRepeatedCrashRejoinCycles(t *testing.T) {
+	h := newLivenessHarness(1)
+	h.eng.At(6, "crash-1", func() { h.c.Node(0).SetDown(true) })
+	h.eng.At(62, "restore-1", func() { h.c.Node(0).SetDown(false) })
+	h.eng.At(106, "crash-2", func() { h.c.Node(0).SetDown(true) })
+	h.eng.At(162, "restore-2", func() { h.c.Node(0).SetDown(false) })
+	h.eng.RunUntil(200)
+	if len(h.lost) != 2 {
+		t.Fatalf("loss declarations = %d, want 2", len(h.lost))
+	}
+	if len(h.rejoins) != 2 {
+		t.Fatalf("rejoins = %d, want 2", len(h.rejoins))
+	}
+	if h.rm.TotalFree() != h.c.TotalSlots() {
+		t.Fatal("capacity not restored after final rejoin")
+	}
+}
+
+func TestWatcherStopHaltsTicking(t *testing.T) {
+	h := newLivenessHarness(1)
+	h.eng.At(6, "crash", func() { h.c.Node(0).SetDown(true) })
+	h.eng.At(8, "stop", func() { h.w.Stop() })
+	h.eng.RunUntil(100)
+	if len(h.lost) != 0 {
+		t.Fatalf("stopped watcher still declared loss: %v", h.lost)
+	}
+}

@@ -106,7 +106,9 @@ func (rm *RM) Poke() {
 // on one node are globally paced: no two grants land within AssignDelay,
 // no matter how often the AM pokes.
 func (rm *RM) offerNow(n *cluster.Node) {
-	if !rm.started || rm.free[n.ID] <= 0 {
+	if !rm.started || rm.free[n.ID] <= 0 || n.Down() {
+		// A down node sends no NodeManager heartbeats, so it makes no
+		// offers; capacity is reconciled wholesale by NodeRestored.
 		return
 	}
 	now := rm.eng.Now()
@@ -131,6 +133,24 @@ func (rm *RM) scheduleOffer(id cluster.NodeID, delay sim.Duration) {
 		rm.offerScheduled[id] = false
 		rm.offerNow(rm.cluster.Node(id))
 	})
+}
+
+// NodeLost removes a node's capacity from the pool: the NodeWatcher
+// declares it after the node misses enough consecutive heartbeats. Any
+// containers granted on the node died with it; their handles are simply
+// abandoned (Release on a down node is a no-op).
+func (rm *RM) NodeLost(id cluster.NodeID) {
+	rm.free[id] = 0
+}
+
+// NodeRestored re-registers a node after a crash: every slot is free
+// again (all containers died at crash time) and offers resume at the
+// next heartbeat.
+func (rm *RM) NodeRestored(id cluster.NodeID) {
+	rm.free[id] = rm.cluster.Node(id).Slots
+	if rm.started {
+		rm.scheduleOffer(id, rm.AssignDelay)
+	}
 }
 
 // Acquire consumes one slot on the node and returns its container handle.
@@ -159,11 +179,16 @@ type Container struct {
 
 // Release returns the slot to the RM; it is re-offered at the node's next
 // heartbeat. Releasing twice panics: it would double-count capacity.
+// Releasing a container on a down node is a silent no-op — the container
+// died with the node and NodeRestored reconciles capacity wholesale.
 func (c *Container) Release() {
 	if c.released {
 		panic(fmt.Sprintf("yarn: container %d released twice", c.ID))
 	}
 	c.released = true
+	if c.Node.Down() {
+		return
+	}
 	c.rm.free[c.Node.ID]++
 	c.rm.scheduleOffer(c.Node.ID, c.rm.AssignDelay)
 }
