@@ -1,13 +1,16 @@
 // Command flexsim runs one MapReduce job on a simulated heterogeneous
 // cluster under a chosen execution engine and prints the paper's metrics
-// plus an optional per-attempt trace.
+// plus optional traces: a per-attempt table (-attempts), the typed event
+// trace as JSON Lines (-trace), a Chrome/Perfetto trace file (-perfetto)
+// and a human-readable event timeline (-timeline).
 //
 // Usage:
 //
 //	flexsim [-cluster physical|virtual|multitenant|homogeneous|heterogeneous]
 //	        [-engine hadoop|hadoop-nospec|skewtune|flexmap] [-split 64]
 //	        [-bench wordcount] [-size-gb 20] [-reducers 0(auto)]
-//	        [-slow-fraction 0.2] [-seed 42] [-trace]
+//	        [-slow-fraction 0.2] [-seed 42] [-attempts]
+//	        [-trace events.jsonl] [-perfetto trace.json] [-timeline]
 //	        [-faults 0(crashes/node-hr)] [-fault-downtime 120]
 package main
 
@@ -30,7 +33,10 @@ func main() {
 	slowFraction := flag.Float64("slow-fraction", 0.20, "slow-node fraction for -cluster multitenant")
 	nodes := flag.Int("nodes", 6, "node count for -cluster homogeneous")
 	seed := flag.Int64("seed", 42, "simulation seed")
-	trace := flag.Bool("trace", false, "print the per-attempt trace")
+	attempts := flag.Bool("attempts", false, "print the per-attempt table")
+	tracePath := flag.String("trace", "", "write the typed event trace as JSON Lines to this file")
+	perfettoPath := flag.String("perfetto", "", "write a Chrome trace-event file (chrome://tracing, ui.perfetto.dev)")
+	timeline := flag.Bool("timeline", false, "print the event timeline after the run")
 	jsonOut := flag.String("json", "", "write the attempt trace as JSON Lines to this file")
 	inputFile := flag.String("input", "", "run LIVE over this real input file (map/reduce functions execute; overrides -size-gb)")
 	skew := flag.Float64("skew", 0, "lognormal sigma of per-block data-skew weights (0 = uniform)")
@@ -71,6 +77,11 @@ func main() {
 		InputSize: *sizeGB * flexmap.GB,
 		SkewSigma: *skew,
 		Faults:    flexmap.FaultPlan{CrashRate: *crashRate, MeanDowntime: flexmap.Duration(*downtime)},
+		Trace: flexmap.TraceOptions{
+			Collect:      *timeline,
+			JSONLPath:    *tracePath,
+			PerfettoPath: *perfettoPath,
+		},
 	}
 	if *inputFile != "" {
 		data, err := os.ReadFile(*inputFile)
@@ -117,7 +128,7 @@ func main() {
 		fmt.Printf("attempt trace written to %s\n", *jsonOut)
 	}
 
-	if *trace {
+	if *attempts {
 		fmt.Println("\ntask trace:")
 		for _, a := range res.Attempts {
 			status := "ok"
@@ -130,6 +141,27 @@ func main() {
 				a.Task, a.Type, a.Node, a.Wave, float64(a.Start), float64(a.End),
 				a.Bytes/flexmap.MB, a.LocalBUs, a.BUs, a.Productivity(), status)
 		}
+	}
+
+	if *timeline && res.Trace != nil {
+		fmt.Println("\nevent timeline:")
+		fmt.Print(flexmap.RenderTimeline(res.Trace.Events()))
+	}
+	if res.Trace != nil {
+		fmt.Println("\ntrace metrics:")
+		for _, s := range res.Trace.Registry().Snapshot() {
+			if s.Counter {
+				fmt.Printf("  %-26s %d\n", s.Name, int64(s.Value))
+			} else {
+				fmt.Printf("  %-26s %.6g\n", s.Name, s.Value)
+			}
+		}
+	}
+	if *tracePath != "" {
+		fmt.Printf("event trace written to %s\n", *tracePath)
+	}
+	if *perfettoPath != "" {
+		fmt.Printf("perfetto trace written to %s\n", *perfettoPath)
 	}
 }
 

@@ -6,12 +6,15 @@
 //
 //	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead|faults]
 //	          [-seed N] [-scale N] [-bench WC,GR,...] [-parallel N]
+//	          [-trace-dir DIR]
 //
 // -scale divides the paper's input sizes (1 = full scale). -parallel
 // bounds how many simulations run concurrently (0 = one per core,
 // 1 = serial); the printed figures are bit-for-bit identical at any
-// setting. Each experiment prints the series the corresponding paper
-// figure plots; total wall-clock goes to stderr.
+// setting. -trace-dir writes one event-trace JSONL file per simulation
+// into DIR (also byte-identical at any -parallel setting). Each
+// experiment prints the series the corresponding paper figure plots;
+// total wall-clock goes to stderr.
 package main
 
 import (
@@ -33,9 +36,15 @@ func main() {
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (short names, e.g. WC,GR)")
 	workers := flag.Int("parallel", 0, "concurrent simulations per experiment (0 = one per core, 1 = serial)")
 	progress := flag.Bool("progress", false, "report per-grid simulation progress on stderr")
+	traceDir := flag.String("trace-dir", "", "write one event-trace JSONL per simulation into this directory")
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, Parallel: *workers}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, Parallel: *workers, TraceDir: *traceDir}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	if *progress {
 		// Stderr only: stdout must stay byte-identical with or without
 		// progress reporting.

@@ -37,10 +37,12 @@ import (
 	"flexmap/internal/dfs"
 	"flexmap/internal/engine"
 	"flexmap/internal/faults"
+	"flexmap/internal/metrics"
 	"flexmap/internal/mr"
 	"flexmap/internal/puma"
 	"flexmap/internal/runner"
 	"flexmap/internal/sim"
+	"flexmap/internal/trace"
 )
 
 // Re-exported size units.
@@ -91,7 +93,21 @@ type (
 	FaultEvent = faults.Event
 	// Duration is a span of simulated time in seconds.
 	Duration = sim.Duration
+	// TraceOptions selects event tracing for a run (Scenario.Trace). The
+	// zero value disables tracing and costs nothing.
+	TraceOptions = trace.Options
+	// Tracer holds a traced run's event stream and metrics registry
+	// (RunResult.Trace; nil unless the scenario enabled tracing).
+	Tracer = trace.Tracer
+	// TraceEvent is one typed simulation event, stamped with virtual time.
+	TraceEvent = trace.Event
+	// MetricSample is one counter or gauge in a registry snapshot.
+	MetricSample = metrics.Sample
 )
+
+// RenderTimeline renders collected trace events as a chronological text
+// timeline (heartbeats summarized per node at the end).
+func RenderTimeline(events []TraceEvent) string { return trace.RenderTimeline(events) }
 
 // PUMA benchmark names, re-exported.
 const (

@@ -124,18 +124,22 @@ func (am *AM) OnSlotFree(node *cluster.Node) bool {
 	// nodes finish together — DataProvision's ideal of data proportional
 	// to capacity — instead of stranding one full-size task on a slow
 	// node after the pool empties.
-	if fair := am.fairShare(node, rel); size > fair {
+	fair := am.fairShare(node, rel)
+	if size > fair {
 		size = fair
 	}
-	if r := am.tracker.Remaining(); size > r {
-		size = r
+	remaining := am.tracker.Remaining()
+	if size > remaining {
+		size = remaining
 	}
+	am.d.Trace.SizerDecision(node.ID, rel, am.sizer.SizeUnit(int(node.ID)), fair, remaining, size)
 	bus, local := am.tracker.Take(node.ID, size)
 	if len(bus) == 0 {
 		return false
 	}
 	task := fmt.Sprintf("map-%04d", am.nextTask)
 	am.nextTask++
+	am.d.Trace.TaskBind(task, node.ID, len(bus), local)
 	am.tasksLeft++
 	am.SizeTrace = append(am.SizeTrace, SizeSample{
 		Task: task, Node: node.ID, BUs: len(bus),
@@ -280,35 +284,64 @@ func (am *AM) placeReducers(d *engine.Driver) []cluster.NodeID {
 	assigned := make(map[cluster.NodeID]int, len(nodes))
 	out := make([]cluster.NodeID, d.Spec.NumReducers)
 	for r := range out {
-		out[r] = am.pickBiased(nodes, caps, assigned)
+		out[r] = am.pickBiased(r, nodes, caps, assigned)
 	}
 	return out
 }
 
-func (am *AM) pickBiased(nodes []*cluster.Node, caps map[cluster.NodeID]float64, assigned map[cluster.NodeID]int) cluster.NodeID {
+func (am *AM) pickBiased(partition int, nodes []*cluster.Node, caps map[cluster.NodeID]float64, assigned map[cluster.NodeID]int) cluster.NodeID {
 	// Rejection sampling terminates: at least one node has c=1 (the
 	// fastest), accepted with probability 1. A capacity guard skips
-	// nodes whose reducer count already fills their slots, so reducers
-	// spill into a second wave only when the whole cluster is full.
-	full := func(id cluster.NodeID, slots int) bool { return assigned[id] >= slots }
+	// nodes whose reducer count already fills their current-wave slots;
+	// when every node is full a new wave begins and the per-wave counts
+	// reset, so the guard (and the c² shape it bounds) applies to every
+	// wave — not just the first, with later waves degenerating to raw
+	// sampling.
+	full := func(n *cluster.Node) bool { return assigned[n.ID] >= n.Slots }
 	allFull := true
 	for _, n := range nodes {
-		if !full(n.ID, n.Slots) {
+		if !full(n) {
 			allFull = false
 			break
 		}
 	}
+	if allFull {
+		for _, n := range nodes {
+			delete(assigned, n.ID)
+		}
+	}
 	for i := 0; i < 10000; i++ {
 		n := nodes[am.rng.Intn(len(nodes))]
-		if !allFull && full(n.ID, n.Slots) {
+		if full(n) {
 			continue
 		}
 		c := caps[n.ID]
 		if am.rng.Float64() <= c*c {
 			assigned[n.ID]++
+			if am.d != nil {
+				am.d.Trace.ReducePlace(partition, n.ID, c*c, i+1, false)
+			}
 			return n.ID
 		}
 	}
-	assigned[nodes[0].ID]++
-	return nodes[0].ID
+	// Bail-out after a pathological draw streak: take the least-loaded
+	// non-full node (lowest assigned/slots, ties to the lowest ID) rather
+	// than unconditionally dumping the partition on nodes[0].
+	var best *cluster.Node
+	for _, n := range nodes {
+		if full(n) {
+			continue
+		}
+		if best == nil || assigned[n.ID]*best.Slots < assigned[best.ID]*n.Slots {
+			best = n
+		}
+	}
+	if best == nil {
+		best = nodes[0]
+	}
+	assigned[best.ID]++
+	if am.d != nil {
+		am.d.Trace.ReducePlace(partition, best.ID, caps[best.ID]*caps[best.ID], 10000, true)
+	}
+	return best.ID
 }

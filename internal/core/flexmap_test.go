@@ -221,6 +221,79 @@ func TestFlexMapMapsDoneFiresOnce(t *testing.T) {
 	}
 }
 
+// newIdleAM wires a FlexMap AM over a fresh driver without starting the
+// RM or the clock — for unit-testing scheduling arithmetic (fairShare)
+// against a controlled tracker and speed monitor.
+func newIdleAM(t *testing.T, c *cluster.Cluster, fileBUs int64) *AM {
+	t.Helper()
+	eng := sim.New()
+	store := dfs.NewStore(c, len(c.Nodes), randutil.New(9))
+	if _, err := store.AddFile("input", fileBUs*dfs.BUSize); err != nil {
+		t.Fatal(err)
+	}
+	rm := yarn.NewRM(eng, c)
+	spec := mr.JobSpec{Name: "wc", InputFile: "input", MapCost: 1, ShuffleRatio: 0, ReduceCost: 0}
+	d, err := engine.NewDriver(eng, c, store, rm, engine.DefaultCostModel(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := NewAM(d, randutil.New(9).Split("flexmap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return am
+}
+
+func TestFairShareRemainderBelowFloor(t *testing.T) {
+	// 2 nodes × 2 slots, unmeasured speeds: oneWave = 4 BUs at unit size.
+	c := cluster.NewCluster("fs", []cluster.NodeSpec{{Slots: 2}, {Slots: 2}})
+	am := newIdleAM(t, c, 64)
+	if bus, _ := am.tracker.Take(0, 61); len(bus) != 61 {
+		t.Fatalf("took %d BUs, want 61", len(bus))
+	}
+	// remaining = 3 < the 4-BU floor: the clamp to Remaining must win over
+	// the floor, not hand out BUs that no longer exist.
+	if got := am.fairShare(c.Nodes[0], 1.0); got != 3 {
+		t.Fatalf("fairShare with 3 BUs left = %d, want 3", got)
+	}
+}
+
+func TestFairShareZeroCapacityCluster(t *testing.T) {
+	c := cluster.NewCluster("fs", []cluster.NodeSpec{{Slots: 2}, {Slots: 2}})
+	am := newIdleAM(t, c, 64)
+	// Degenerate totalRel ≤ 0 (no slots anywhere): fairShare must not
+	// divide by zero and must leave the remainder unclamped.
+	for _, n := range c.Nodes {
+		n.Slots = 0
+	}
+	if got := am.fairShare(c.Nodes[0], 1.0); got != 64 {
+		t.Fatalf("fairShare on zero-capacity cluster = %d, want remaining (64)", got)
+	}
+}
+
+func TestFairShareEndgameProportional(t *testing.T) {
+	c := cluster.NewCluster("fs", []cluster.NodeSpec{{Slots: 2}, {Slots: 2}})
+	am := newIdleAM(t, c, 64)
+	// Node 0 measured 8× faster: rels {8,1}, sizes {8,1}, oneWave = 18.
+	for i := 0; i < ipsWindow; i++ {
+		am.monitor.push(0, 8*1024*1024)
+		am.monitor.push(1, 1*1024*1024)
+	}
+	if bus, _ := am.tracker.Take(0, 47); len(bus) != 47 {
+		t.Fatalf("took %d BUs, want 47", len(bus))
+	}
+	// remaining = 17 < oneWave: endgame. Fast node's share is
+	// capacity-proportional (⌊17×8/18⌋+1 = 8); slow node's proportional
+	// share (1) is lifted to the 4-BU floor.
+	rels := am.monitor.RelativeSpeeds()
+	if got := am.fairShare(c.Nodes[0], rels[0]); got != 8 {
+		t.Fatalf("fast node fairShare = %d, want 8", got)
+	}
+	if got := am.fairShare(c.Nodes[1], rels[1]); got != 4 {
+		t.Fatalf("slow node fairShare = %d, want 4 (the floor)", got)
+	}
+}
+
 // Property: the biased picker's acceptance frequencies track c² within
 // statistical tolerance (χ²-style sanity check, not a strict test).
 func TestPropertyBiasedPickerDistribution(t *testing.T) {
@@ -232,11 +305,12 @@ func TestPropertyBiasedPickerDistribution(t *testing.T) {
 		caps := map[cluster.NodeID]float64{0: 1.0, 1: 0.5}
 		assigned := map[cluster.NodeID]int{}
 		const draws = 2000
+		counts := map[cluster.NodeID]int{}
 		for i := 0; i < draws; i++ {
-			am.pickBiased(c.Nodes, caps, assigned)
+			counts[am.pickBiased(i, c.Nodes, caps, assigned)]++
 		}
 		// Expected ratio  c0²:c1² = 1 : 0.25 → node 0 share = 0.8.
-		share := float64(assigned[0]) / draws
+		share := float64(counts[0]) / draws
 		return math.Abs(share-0.8) < 0.06
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
@@ -251,15 +325,68 @@ func TestBiasedPickerRespectsCapacityGuard(t *testing.T) {
 	am := &AM{rng: randutil.New(1)}
 	caps := map[cluster.NodeID]float64{0: 1.0, 1: 1.0}
 	assigned := map[cluster.NodeID]int{}
+	counts := map[cluster.NodeID]int{}
 	for i := 0; i < 4; i++ {
-		am.pickBiased(c.Nodes, caps, assigned)
+		counts[am.pickBiased(i, c.Nodes, caps, assigned)]++
 	}
-	if assigned[0] != 2 || assigned[1] != 2 {
-		t.Fatalf("capacity guard failed: %v", assigned)
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("capacity guard failed: %v", counts)
 	}
-	// Fifth pick overflows somewhere without hanging.
-	am.pickBiased(c.Nodes, caps, assigned)
-	if assigned[0]+assigned[1] != 5 {
-		t.Fatalf("overflow pick lost: %v", assigned)
+	// Fifth pick starts a new wave without hanging: per-wave counts reset
+	// and exactly one node receives the overflow reducer.
+	counts[am.pickBiased(4, c.Nodes, caps, assigned)]++
+	if counts[0]+counts[1] != 5 {
+		t.Fatalf("overflow pick lost: %v", counts)
+	}
+	if assigned[0]+assigned[1] != 1 {
+		t.Fatalf("per-wave counts not reset on wave rollover: %v", assigned)
+	}
+}
+
+// Regression for the multi-wave guard bug: once every node's slots were
+// full the guard used to stay disabled for the rest of placement, so
+// waves ≥2 were raw c² draws — a fast node could absorb nearly all the
+// overflow. With the per-wave reset, every wave respects slot capacity:
+// placing 3 waves' worth of reducers gives each node exactly 3×Slots.
+func TestBiasedPickerBalancedAcrossWaves(t *testing.T) {
+	c := cluster.NewCluster("w", []cluster.NodeSpec{
+		{BaseSpeed: 1, Slots: 2}, {BaseSpeed: 1, Slots: 2},
+	})
+	// Unequal capacities: the raw-sampling bug would send ~80% of waves
+	// 2-3 to node 0.
+	caps := map[cluster.NodeID]float64{0: 1.0, 1: 0.5}
+	for seed := int64(1); seed <= 5; seed++ {
+		am := &AM{rng: randutil.New(seed)}
+		assigned := map[cluster.NodeID]int{}
+		counts := map[cluster.NodeID]int{}
+		const waves = 3
+		for i := 0; i < waves*4; i++ {
+			counts[am.pickBiased(i, c.Nodes, caps, assigned)]++
+		}
+		for _, n := range c.Nodes {
+			if counts[n.ID] != waves*n.Slots {
+				t.Fatalf("seed %d: wave balance broken: node %d got %d reducers, want %d (counts %v)",
+					seed, n.ID, counts[n.ID], waves*n.Slots, counts)
+			}
+		}
+	}
+}
+
+// Regression for the bail-out: when rejection sampling exhausts its draw
+// budget (all-zero capacities make acceptance virtually impossible) the
+// partition used to be dumped unconditionally on nodes[0]; now it goes
+// to the least-loaded non-full node.
+func TestBiasedPickerBailoutPicksLeastLoaded(t *testing.T) {
+	c := cluster.NewCluster("b", []cluster.NodeSpec{
+		{BaseSpeed: 1, Slots: 2}, {BaseSpeed: 1, Slots: 2},
+	})
+	am := &AM{rng: randutil.New(7)}
+	caps := map[cluster.NodeID]float64{0: 0, 1: 0}
+	assigned := map[cluster.NodeID]int{0: 1}
+	if got := am.pickBiased(0, c.Nodes, caps, assigned); got != 1 {
+		t.Fatalf("bail-out picked node %d, want least-loaded node 1 (assigned %v)", got, assigned)
+	}
+	if assigned[1] != 1 {
+		t.Fatalf("bail-out did not record its pick: %v", assigned)
 	}
 }

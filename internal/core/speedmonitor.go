@@ -57,6 +57,9 @@ func (m *SpeedMonitor) round(now sim.Time) {
 		var sum float64
 		reports := 0
 		for _, a := range attempts {
+			if remoteHeavy(a) {
+				continue
+			}
 			elapsed := float64(now - a.Start)
 			if elapsed <= 0 {
 				continue
@@ -65,18 +68,40 @@ func (m *SpeedMonitor) round(now sim.Time) {
 			reports++
 		}
 		if reports > 0 {
-			m.push(n.ID, sum/float64(reports))
+			sample := sum / float64(reports)
+			m.push(n.ID, sample)
+			if tr := m.driver.Trace; tr.Enabled() {
+				tr.Heartbeat(n.ID, sample, m.GetSpeed(n.ID), false)
+			}
 		}
 	}
 }
 
 // ReportCompletion feeds an attempt's lifetime IPS into the estimate.
 func (m *SpeedMonitor) ReportCompletion(a *engine.MapAttempt) {
+	if remoteHeavy(a) {
+		return
+	}
 	runtime := float64(m.driver.Eng.Now() - a.Start)
 	if runtime <= 0 {
 		return
 	}
-	m.push(a.Node.ID, float64(a.Bytes)/runtime)
+	ips := float64(a.Bytes) / runtime
+	m.push(a.Node.ID, ips)
+	if tr := m.driver.Trace; tr.Enabled() {
+		tr.Heartbeat(a.Node.ID, ips, m.GetSpeed(a.Node.ID), true)
+	}
+}
+
+// remoteHeavy reports whether an attempt is a speculative duplicate
+// reading mostly remote BUs. Such an attempt's IPS is bounded by the
+// network fetch, not the executing node's compute speed, so feeding it
+// into the node's window would drag a fast node's estimate toward the
+// network rate and mis-size its next tasks. Original (non-speculative)
+// attempts are node-local by construction of Late Task Binding, so this
+// only ever excludes speculation duplicates.
+func remoteHeavy(a *engine.MapAttempt) bool {
+	return a.Speculative && a.RemoteBytes*2 >= a.Bytes
 }
 
 func (m *SpeedMonitor) push(id cluster.NodeID, ips float64) {

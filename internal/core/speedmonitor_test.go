@@ -125,6 +125,48 @@ func TestMonitorCompletionReports(t *testing.T) {
 	}
 }
 
+// Regression for the speculative-sampling bug: a speculative duplicate
+// reading mostly remote BUs is network-bound, and its completion and
+// heartbeat samples used to enter the executing node's window — one
+// remote-heavy speculation dragged a fast node's estimate toward the
+// network rate and mis-sized its next tasks.
+func TestMonitorIgnoresRemoteHeavySpeculation(t *testing.T) {
+	h := newMonitorHarness(t, []cluster.NodeSpec{{BaseSpeed: 4, Slots: 2}, {BaseSpeed: 1, Slots: 2}})
+	m := NewSpeedMonitor(h.driver)
+	onDone := func(a *engine.MapAttempt) {
+		a.Container.Release()
+		m.ReportCompletion(a)
+	}
+	// A node-local attempt on the fast node establishes its speed.
+	h.launchManual(t, 0, 4, onDone)
+	h.eng.RunUntil(60)
+	base := m.GetSpeed(0)
+	if base <= 0 {
+		t.Fatal("no baseline speed for the fast node")
+	}
+	// A speculative duplicate on the fast node reading its whole split
+	// remotely: neither its heartbeat samples while fetching nor its
+	// completion sample may perturb the node's window.
+	f, _ := h.store.File("input")
+	n := h.clus.Node(0)
+	h.driver.LaunchMap(engine.MapLaunch{
+		Task:        "spec",
+		Node:        n,
+		Container:   h.rm.Acquire(n),
+		BUs:         f.BUs[8:16],
+		LocalBUs:    0,
+		Speculative: true,
+		OnDone:      onDone,
+	})
+	h.eng.RunUntil(300)
+	m.Stop()
+	h.eng.Run()
+	if got := m.GetSpeed(0); got != base {
+		t.Fatalf("remote-heavy speculation changed fast node speed: %.2f → %.2f MB/s",
+			base/1024/1024, got/1024/1024)
+	}
+}
+
 func TestMonitorWindowAveraging(t *testing.T) {
 	h := newMonitorHarness(t, []cluster.NodeSpec{{}})
 	m := NewSpeedMonitor(h.driver)

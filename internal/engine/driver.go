@@ -11,6 +11,7 @@ import (
 	"flexmap/internal/mr"
 	"flexmap/internal/randutil"
 	"flexmap/internal/sim"
+	"flexmap/internal/trace"
 	"flexmap/internal/yarn"
 )
 
@@ -34,6 +35,13 @@ type Driver struct {
 
 	// ReducePlacer defaults to EvenReducePlacer.
 	ReducePlacer ReducePlacer
+
+	// Trace, when non-nil, records the run's typed event stream (see
+	// internal/trace). All emit methods are nil-safe, so the disabled
+	// state costs a branch per lifecycle transition and nothing else —
+	// tracing never draws randomness or schedules events, keeping traced
+	// and untraced runs byte-identical in every simulation output.
+	Trace *trace.Tracer
 
 	// Noise, when non-nil, draws a lognormal per-attempt compute-cost
 	// multiplier with sigma NoiseSigma, modeling the runtime variance real
@@ -223,6 +231,7 @@ func (d *Driver) LaunchMap(l MapLaunch) *MapAttempt {
 		d.Result.MapPhaseStart = d.Eng.Now()
 	}
 	d.running[l.Node.ID][a] = true
+	d.Trace.MapDispatch(l.Task, l.Node.ID, l.Wave, len(l.BUs), l.LocalBUs, a.Bytes, remote, l.Speculative)
 
 	a.fetchDur = sim.Duration(float64(remote) / (d.Cluster.NetBW * float64(MB)))
 	a.phase = phaseOverhead
@@ -280,6 +289,7 @@ func (a *MapAttempt) complete() {
 		Wave:        a.Wave,
 		Speculative: a.Speculative,
 	})
+	a.d.Trace.TaskDone(a.Task, a.Node.ID, a.Bytes)
 	a.onDone(a)
 }
 
@@ -312,6 +322,7 @@ func (d *Driver) CommitOutputForBUs(node cluster.NodeID, bus []dfs.BUID) int64 {
 	inter := int64(float64(bytes) * d.Spec.ShuffleRatio)
 	d.interByNode[node] += inter
 	d.totalInter += inter
+	d.Trace.Commit(node, len(bus), inter)
 	if d.Spec.Mapper == nil {
 		return inter
 	}
@@ -398,6 +409,7 @@ func (a *MapAttempt) kill(crashed bool) bool {
 		Killed:      true,
 		Crashed:     crashed,
 	})
+	a.d.Trace.TaskKill(a.Task, a.Node.ID, crashed)
 	return true
 }
 

@@ -149,6 +149,7 @@ func (rr *reduceRun) crash() {
 	})
 	d.Result.AttemptsCrashed++
 	d.Result.TaskRetries++
+	d.Trace.TaskKill(reduceTaskName(rr.p), rr.node.ID, true)
 	d.crashedReduces[rr.node.ID] = append(d.crashedReduces[rr.node.ID], rr.p)
 }
 
@@ -179,6 +180,7 @@ func (d *Driver) runReduce(p int, n *cluster.Node) {
 	rr := &reduceRun{d: d, p: p, node: n, start: start, partBytes: partBytes}
 	d.reduceActive[n.ID]++
 	d.runningReduce[n.ID] = append(d.runningReduce[n.ID], rr)
+	d.Trace.ReduceDispatch(reduceTaskName(p), n.ID, partBytes)
 
 	finish := func() {
 		if d.finished {
@@ -196,6 +198,7 @@ func (d *Driver) runReduce(p int, n *cluster.Node) {
 			Effective: sim.Duration(now-start) - d.Cost.Overhead(),
 			Bytes:     partBytes,
 		})
+		d.Trace.TaskDone(reduceTaskName(p), n.ID, partBytes)
 		d.reduceRemaining--
 		if d.reduceRemaining == 0 {
 			d.runLiveReducers()

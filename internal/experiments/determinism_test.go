@@ -7,6 +7,9 @@ package experiments
 // can change wall-clock time only, never a published number.
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"flexmap/internal/puma"
@@ -119,6 +122,48 @@ func TestSerialVsParallelDeterminism(t *testing.T) {
 				t.Error("harness rendered nothing")
 			}
 		})
+	}
+}
+
+// TestTraceFilesSerialVsParallel pins the trace layer's determinism
+// contract end to end: the same seed must emit byte-identical per-run
+// JSONL whether the experiment grid ran serially or across 8 workers.
+func TestTraceFilesSerialVsParallel(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	cfgA, cfgB := detCfg(1), detCfg(8)
+	cfgA.TraceDir, cfgB.TraceDir = dirA, dirB
+	if _, err := Fig2(cfgA); err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if _, err := Fig2(cfgB); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	filesA, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filesA) == 0 {
+		t.Fatal("no trace files written")
+	}
+	for _, f := range filesA {
+		a, err := os.ReadFile(filepath.Join(dirA, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, f.Name()))
+		if err != nil {
+			t.Fatalf("parallel run missing trace %s: %v", f.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("trace %s differs between serial and parallel runs", f.Name())
+		}
+	}
+	filesB, err := os.ReadDir(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filesB) != len(filesA) {
+		t.Errorf("serial wrote %d trace files, parallel wrote %d", len(filesA), len(filesB))
 	}
 }
 

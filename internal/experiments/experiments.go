@@ -9,6 +9,8 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"path/filepath"
+	"strings"
 
 	"flexmap/internal/cluster"
 	"flexmap/internal/mr"
@@ -40,6 +42,11 @@ type Config struct {
 	// .OnProgress). It must write only to side channels (stderr, a
 	// progress bar): the rendered figures must stay byte-identical.
 	Progress func(done, total int)
+	// TraceDir, when non-empty, writes one event-trace JSONL file per
+	// simulation into that directory, named <scenario>-<engine>.jsonl.
+	// File contents are byte-identical at any Parallel setting: each run
+	// emits its own stream stamped with its own virtual clock.
+	TraceDir string
 }
 
 // withDefaults fills zero fields. Seed 0 means "default seed 42" by
@@ -178,5 +185,24 @@ func runWith(cfg Config, def clusterDef, b puma.Benchmark, input int64, eng runn
 		Seed:      cfg.Seed,
 		InputSize: input,
 	}
+	traceInto(cfg, &sc, eng)
 	return runner.Run(sc, spec, eng)
+}
+
+// traceInto points the scenario's trace output into cfg.TraceDir (no-op
+// when unset). Scenarios repeated with identical parameters overwrite
+// the same file with identical bytes, so grids are safe at any level of
+// parallelism.
+func traceInto(cfg Config, sc *runner.Scenario, eng runner.Engine) {
+	if cfg.TraceDir == "" {
+		return
+	}
+	name := sanitizeTraceName(sc.Name + "-" + eng.String())
+	sc.Trace.JSONLPath = filepath.Join(cfg.TraceDir, name+".jsonl")
+}
+
+// sanitizeTraceName flattens scenario names ("virtual/wordcount") into
+// file-system-safe file stems.
+func sanitizeTraceName(s string) string {
+	return strings.NewReplacer("/", "-", " ", "-", "[", "-", "]", "").Replace(s)
 }

@@ -109,6 +109,7 @@ func faultTolerance(cfg Config, rates []float64) (*FaultToleranceResult, error) 
 					InputSize: input,
 					Faults:    faults.Plan{CrashRate: rate},
 				}
+				traceInto(cfg, &sc, eng)
 				res, err := runner.Run(sc, spec, eng)
 				// A job that gives up (stock's bounded retries exhausted)
 				// is an experimental outcome, not a harness error: keep

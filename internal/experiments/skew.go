@@ -57,6 +57,8 @@ func Skew(cfg Config) (*SkewResult, error) {
 	for i, eng := range engines {
 		eng := eng
 		jobs[i] = simJob{"skew/" + eng.String(), func() (*runner.Result, error) {
+			sc := sc
+			traceInto(cfg, &sc, eng)
 			return runner.Run(sc, spec, eng)
 		}}
 	}

@@ -3,6 +3,7 @@ package faults
 import (
 	"flexmap/internal/cluster"
 	"flexmap/internal/sim"
+	"flexmap/internal/trace"
 )
 
 // Target is the execution-layer surface the injector drives.
@@ -29,6 +30,9 @@ type Injector struct {
 	target   Target
 	schedule []Event
 	stopped  bool
+
+	// Trace, when non-nil, records each fault actually applied.
+	Trace *trace.Tracer
 
 	// Injected counts events actually applied (skips excluded).
 	Injected int
@@ -61,6 +65,7 @@ func (in *Injector) apply(ev Event) {
 			return
 		}
 		in.Injected++
+		in.Trace.FaultInject(ev.Kind.String(), ev.Node, ev.Duration, 0)
 		in.target.CrashNode(ev.Node)
 		in.eng.After(ev.Duration, "fault-restore", func() {
 			if !in.stopped {
@@ -76,6 +81,7 @@ func (in *Injector) apply(ev Event) {
 			return // an interferer already slows this node harder
 		}
 		in.Injected++
+		in.Trace.FaultInject(ev.Kind.String(), ev.Node, ev.Duration, ev.Factor)
 		n.SetInterference(ev.Factor)
 		in.eng.After(ev.Duration, "fault-recover", func() {
 			// Restore the pre-fault multiplier only if nothing else (an
@@ -90,6 +96,7 @@ func (in *Injector) apply(ev Event) {
 		}
 		if in.target.PreemptContainer(ev.Node) {
 			in.Injected++
+			in.Trace.FaultInject(ev.Kind.String(), ev.Node, 0, 0)
 		}
 	}
 }

@@ -25,6 +25,9 @@ type Summary struct {
 	MeanProductivity float64
 	Attempts         int
 	Speculative      int
+	// Metrics is the run's counter/gauge snapshot when it was traced
+	// (nil otherwise) — see SummarizeTraced.
+	Metrics []Sample
 }
 
 // Summarize extracts a Summary from a job result.
@@ -46,6 +49,15 @@ func Summarize(r *mr.JobResult) Summary {
 		Attempts:         len(r.Attempts),
 		Speculative:      r.SpeculativeLaunches,
 	}
+}
+
+// SummarizeTraced extracts a Summary and attaches the run's registry
+// snapshot (from the tracer). A nil registry leaves Metrics nil, so the
+// call is safe for untraced runs.
+func SummarizeTraced(r *mr.JobResult, reg *Registry) Summary {
+	s := Summarize(r)
+	s.Metrics = reg.Snapshot()
+	return s
 }
 
 // FaultSummary condenses one run's failure-and-recovery counters — the
@@ -123,7 +135,11 @@ func Describe(xs []float64) Stats {
 }
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of a sorted sample using
-// nearest-rank interpolation.
+// linear interpolation between the two closest ranks (the "C = 1"
+// definition, matching numpy's default): rank = p × (n−1), and a
+// fractional rank blends the two straddling order statistics. p ≤ 0
+// returns the minimum, p ≥ 1 the maximum, and a single-element sample
+// returns that element for every p.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0

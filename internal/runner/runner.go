@@ -17,6 +17,7 @@ import (
 	"flexmap/internal/sim"
 	"flexmap/internal/skewtune"
 	"flexmap/internal/speculate"
+	"flexmap/internal/trace"
 	"flexmap/internal/yarn"
 )
 
@@ -114,6 +115,12 @@ type Scenario struct {
 	// MaxSimTime bounds the virtual clock (guard against scheduling
 	// bugs); default 30 days.
 	MaxSimTime sim.Time
+
+	// Trace selects event tracing for the run (see internal/trace). The
+	// zero value attaches no tracer: the simulation pays a nil-check per
+	// lifecycle transition and emits nothing, and tracing on or off never
+	// changes any simulation output.
+	Trace trace.Options
 }
 
 // Result bundles the job result with engine-specific traces.
@@ -129,6 +136,9 @@ type Result struct {
 	BUCommits map[dfs.BUID]int
 	// InputBytes is the modeled input size (goodput denominator).
 	InputBytes int64
+	// Trace holds the run's event stream and metrics registry when
+	// Scenario.Trace enabled tracing (nil otherwise).
+	Trace *trace.Tracer
 }
 
 // JobFailedError reports a job that terminated itself — stock Hadoop
@@ -182,6 +192,11 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 	driver, err := engine.NewDriver(simEng, clus, store, rm, cost, spec)
 	if err != nil {
 		return nil, err
+	}
+	var tracer *trace.Tracer
+	if sc.Trace.Enabled() {
+		tracer = trace.New(simEng)
+		driver.Trace = tracer
 	}
 	driver.Noise = rng.Split("runtime-noise")
 	driver.NoiseSigma = sc.NoiseSigma
@@ -246,9 +261,11 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 			return nil, fmt.Errorf("runner: fault injection is not supported for %s (repartition/recovery interplay is unmodeled)", eng)
 		}
 		watcher := yarn.NewNodeWatcher(simEng, clus, rm)
+		watcher.Trace = tracer
 		driver.AttachWatcher(watcher)
 		inj := faults.NewInjector(simEng, clus,
 			sc.Faults.Schedule(rng.Split("faults").Seed(), clus.Size()), driver)
+		inj.Trace = tracer
 		driver.OnFinished(inj.Stop)
 		inj.Start()
 	}
@@ -259,7 +276,13 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 		deadline = 30 * 24 * 3600
 	}
 	simEng.RunUntil(deadline)
+	tracer.FinalizeRun()
 	if driver.Result.Failed {
+		// Export what was collected: a failed job's trace is the artifact
+		// you want most.
+		if err := sc.Trace.Write(tracer); err != nil {
+			return nil, err
+		}
 		return nil, &JobFailedError{
 			Job:    spec.Name,
 			Engine: eng.String(),
@@ -269,6 +292,7 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 				Cluster:    clus,
 				BUCommits:  driver.BUCommits(),
 				InputBytes: sc.InputSize,
+				Trace:      tracer,
 			},
 		}
 	}
@@ -277,11 +301,15 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 			spec.Name, eng, deadline)
 	}
 
+	if err := sc.Trace.Write(tracer); err != nil {
+		return nil, err
+	}
 	out := &Result{
 		JobResult:  driver.Result,
 		Cluster:    clus,
 		BUCommits:  driver.BUCommits(),
 		InputBytes: sc.InputSize,
+		Trace:      tracer,
 	}
 	if flexAM != nil {
 		out.SizeTrace = flexAM.SizeTrace

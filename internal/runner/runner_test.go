@@ -1,14 +1,19 @@
 package runner
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"flexmap/internal/cluster"
 	"flexmap/internal/datagen"
 	"flexmap/internal/dfs"
+	"flexmap/internal/faults"
 	"flexmap/internal/mr"
 	"flexmap/internal/puma"
 	"flexmap/internal/sim"
+	"flexmap/internal/trace"
 )
 
 func homoFactory(n int) ClusterFactory {
@@ -378,5 +383,87 @@ func TestSkewSigmaSlowsHotTasks(t *testing.T) {
 	}
 	if spread(skewed) < 1.5 {
 		t.Fatalf("skewed spread = %v, want ≥ 1.5", spread(skewed))
+	}
+}
+
+func TestTracingDoesNotPerturbRun(t *testing.T) {
+	sc := smallScenario(hetFactory)
+	spec := wcSpec(t, 4)
+	plain, err := Run(sc, spec, Engine{Kind: FlexMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced run carries a tracer")
+	}
+	sc.Trace = trace.Options{Collect: true}
+	traced, err := Run(sc, spec, Engine{Kind: FlexMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Trace == nil || len(traced.Trace.Events()) == 0 {
+		t.Fatal("traced run collected no events")
+	}
+	// The observability contract: enabling tracing changes nothing the
+	// simulation computes — same JCT, same attempt records, bit for bit.
+	if plain.JCT() != traced.JCT() {
+		t.Fatalf("tracing changed JCT: %v vs %v", plain.JCT(), traced.JCT())
+	}
+	if len(plain.Attempts) != len(traced.Attempts) {
+		t.Fatalf("tracing changed attempt count: %d vs %d", len(plain.Attempts), len(traced.Attempts))
+	}
+	for i := range plain.Attempts {
+		if plain.Attempts[i] != traced.Attempts[i] {
+			t.Fatalf("attempt %d differs:\n%+v\n%+v", i, plain.Attempts[i], traced.Attempts[i])
+		}
+	}
+}
+
+func TestTraceFilesDeterministicAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	sc := smallScenario(hetFactory)
+	sc.Faults = faults.Plan{CrashRate: 2, SlowdownRate: 4, PreemptRate: 4}
+	spec := wcSpec(t, 4)
+	run := func(name string) []byte {
+		s := sc
+		s.Trace = trace.Options{
+			JSONLPath:    filepath.Join(dir, name+".jsonl"),
+			PerfettoPath: filepath.Join(dir, name+".perfetto.json"),
+		}
+		if _, err := Run(s, spec, Engine{Kind: FlexMap}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(s.Trace.JSONLPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Fatal("empty trace file")
+		}
+		return b
+	}
+	if !bytes.Equal(run("a"), run("b")) {
+		t.Fatal("same-seed runs wrote different JSONL bytes")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a.perfetto.json")); err != nil {
+		t.Fatalf("perfetto file missing: %v", err)
+	}
+}
+
+func TestTraceRecordsFaultEvents(t *testing.T) {
+	sc := smallScenario(hetFactory)
+	// High rates so faults land within a short job's lifetime.
+	sc.Faults = faults.Plan{CrashRate: 200, MeanDowntime: 30, SlowdownRate: 200}
+	sc.Trace = trace.Options{Collect: true}
+	res, err := Run(sc, wcSpec(t, 2), Engine{Kind: FlexMap})
+	if err != nil {
+		if jf, ok := err.(*JobFailedError); ok {
+			res = jf.Result
+		} else {
+			t.Fatal(err)
+		}
+	}
+	if res.Trace.Registry().Counter("faults.injected") == 0 {
+		t.Fatal("crash plan injected no traced faults")
 	}
 }

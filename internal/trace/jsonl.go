@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL writes events as JSON Lines, one object per event. The
+// encoding is hand-rolled so output bytes are a pure function of the
+// event stream: fixed field order (t, kind, node, task, then each Arg in
+// emit order), shortest-round-trip float formatting, no map iteration.
+// Same seed ⇒ same events ⇒ same bytes, serial or parallel.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 256)
+	for i := range events {
+		buf = appendEvent(buf[:0], &events[i])
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func appendEvent(b []byte, e *Event) []byte {
+	b = append(b, `{"t":`...)
+	b = appendFloat(b, float64(e.At))
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, '"')
+	if e.Node != NoNode {
+		b = append(b, `,"node":`...)
+		b = strconv.AppendInt(b, int64(e.Node), 10)
+	}
+	if e.Task != "" {
+		b = append(b, `,"task":`...)
+		b = strconv.AppendQuote(b, e.Task)
+	}
+	for i := range e.Args {
+		b = appendArg(b, &e.Args[i])
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// appendArg appends `,"key":value`. Keys are code-fixed identifiers that
+// never need escaping; string values are quoted properly.
+func appendArg(b []byte, a *Arg) []byte {
+	b = append(b, ',', '"')
+	b = append(b, a.Key...)
+	b = append(b, '"', ':')
+	switch a.kind {
+	case argInt:
+		b = strconv.AppendInt(b, a.i, 10)
+	case argFloat:
+		b = appendFloat(b, a.f)
+	case argStr:
+		b = strconv.AppendQuote(b, a.s)
+	case argBool:
+		if a.i != 0 {
+			b = append(b, "true"...)
+		} else {
+			b = append(b, "false"...)
+		}
+	}
+	return b
+}
+
+// appendFloat formats with 'g' and the shortest precision that
+// round-trips — deterministic for any given float64 bit pattern.
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Options selects what a run's tracer records and where it is written.
+// The zero value disables tracing entirely: the runner attaches no
+// tracer, so the simulation pays nothing.
+type Options struct {
+	// Collect keeps the event stream in memory (Result.Trace) even when
+	// no output path is set — for tests and the timeline renderer.
+	Collect bool
+	// JSONLPath, when non-empty, writes the typed event log there as
+	// JSON Lines after the run.
+	JSONLPath string
+	// PerfettoPath, when non-empty, writes a Chrome trace-event file
+	// there (open in chrome://tracing or ui.perfetto.dev).
+	PerfettoPath string
+}
+
+// Enabled reports whether the options ask for any tracing.
+func (o Options) Enabled() bool {
+	return o.Collect || o.JSONLPath != "" || o.PerfettoPath != ""
+}
+
+// Write exports the tracer's events to the configured paths.
+func (o Options) Write(t *Tracer) error {
+	if err := writeFile(o.JSONLPath, t, WriteJSONL); err != nil {
+		return err
+	}
+	return writeFile(o.PerfettoPath, t, WritePerfetto)
+}
+
+func writeFile(path string, t *Tracer, write func(w io.Writer, events []Event) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := write(f, t.Events()); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+// Package trace is the simulator's deterministic observability layer:
+// typed events (task bind/dispatch/commit/kill, heartbeat IPS samples,
+// Algorithm 1 sizing decisions, biased reduce placements, fault
+// inject/detect/recover) collected per run and exportable as JSON Lines,
+// a Chrome/Perfetto trace-event file, or a human-readable timeline.
+//
+// The determinism contract: every event is stamped with the sim.Engine's
+// virtual clock — never wall time — and emission does no RNG draws and
+// schedules no events, so a traced run is byte-identical to an untraced
+// one in every simulation output, and the same seed produces the same
+// trace bytes whether the run executed serially or inside a parallel
+// experiment grid.
+//
+// The overhead contract: a nil *Tracer is the disabled state. Every emit
+// method nil-checks before touching any state, and call sites pass only
+// scalars, so tracing off costs a few predictable branches per task
+// lifecycle — no allocation, no formatting.
+package trace
+
+import (
+	"strconv"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/metrics"
+	"flexmap/internal/sim"
+)
+
+// NoNode marks events that are not scoped to a single node.
+const NoNode cluster.NodeID = -1
+
+// Kind is a typed event class.
+type Kind uint8
+
+// Event kinds, in rough task-lifecycle order.
+const (
+	// KindSizer is one Algorithm 1 decision: the inputs (relative speed,
+	// size unit, fair-share clamp, remaining BUs) and the resulting size.
+	KindSizer Kind = iota
+	// KindTaskBind is Late Task Binding materializing a map task: BUs
+	// bound to a node at slot-free time.
+	KindTaskBind
+	// KindMapDispatch is a map attempt launching on a node.
+	KindMapDispatch
+	// KindReduceDispatch is a reduce attempt launching on a node.
+	KindReduceDispatch
+	// KindTaskDone is an attempt completing successfully.
+	KindTaskDone
+	// KindTaskKill is an attempt stopped early (speculation race loss,
+	// repartition, or fault-induced crash).
+	KindTaskKill
+	// KindCommit is map output for a batch of BUs becoming visible to the
+	// shuffle on a node.
+	KindCommit
+	// KindHeartbeat is one node IPS sample entering the speed window —
+	// from a heartbeat round or an attempt completion.
+	KindHeartbeat
+	// KindReducePlace is one capacity-biased reducer placement, with the
+	// accepted node's c² acceptance probability and the rejection-sampling
+	// draw count.
+	KindReducePlace
+	// KindFaultInject is the fault injector applying a scheduled event.
+	KindFaultInject
+	// KindFaultDetect is the NodeWatcher declaring a node lost after
+	// missed heartbeats.
+	KindFaultDetect
+	// KindFaultRecover is a down node heartbeating again (rejoin).
+	KindFaultRecover
+)
+
+// String names the kind the way the JSONL "kind" field spells it.
+func (k Kind) String() string {
+	switch k {
+	case KindSizer:
+		return "sizer"
+	case KindTaskBind:
+		return "task-bind"
+	case KindMapDispatch:
+		return "map-dispatch"
+	case KindReduceDispatch:
+		return "reduce-dispatch"
+	case KindTaskDone:
+		return "task-done"
+	case KindTaskKill:
+		return "task-kill"
+	case KindCommit:
+		return "commit"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindReducePlace:
+		return "reduce-place"
+	case KindFaultInject:
+		return "fault-inject"
+	case KindFaultDetect:
+		return "fault-detect"
+	case KindFaultRecover:
+		return "fault-recover"
+	}
+	return "kind-" + strconv.Itoa(int(k))
+}
+
+// argKind discriminates Arg payloads.
+type argKind uint8
+
+const (
+	argInt argKind = iota
+	argFloat
+	argStr
+	argBool
+)
+
+// Arg is one typed key/value payload field of an event. Keys are fixed
+// identifiers chosen at the emit site, so JSONL field order is part of
+// each kind's schema.
+type Arg struct {
+	Key  string
+	kind argKind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int builds an integer arg.
+func Int(key string, v int64) Arg { return Arg{Key: key, kind: argInt, i: v} }
+
+// Float builds a float arg.
+func Float(key string, v float64) Arg { return Arg{Key: key, kind: argFloat, f: v} }
+
+// Str builds a string arg.
+func Str(key, v string) Arg { return Arg{Key: key, kind: argStr, s: v} }
+
+// Bool builds a boolean arg.
+func Bool(key string, v bool) Arg {
+	a := Arg{Key: key, kind: argBool}
+	if v {
+		a.i = 1
+	}
+	return a
+}
+
+// Event is one recorded occurrence on the virtual clock.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Node cluster.NodeID // NoNode when not node-scoped
+	Task string         // "" when not task-scoped
+	Args []Arg
+}
+
+// Tracer collects a run's events and feeds the counters/gauges registry.
+// The zero value is not used; a nil *Tracer is the disabled tracer and
+// every method is safe (and free) to call on it.
+type Tracer struct {
+	eng    *sim.Engine
+	events []Event
+	reg    *metrics.Registry
+}
+
+// New returns an enabled tracer stamping events from the engine's clock.
+func New(eng *sim.Engine) *Tracer {
+	return &Tracer{eng: eng, reg: metrics.NewRegistry()}
+}
+
+// Enabled reports whether the tracer records anything (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Events returns the collected events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Registry returns the tracer's counters/gauges registry (nil when
+// disabled; metrics.Registry methods are nil-safe too).
+func (t *Tracer) Registry() *metrics.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// emit appends one event stamped at the current virtual time and bumps
+// its kind counter. Callers have already nil-checked t.
+func (t *Tracer) emit(kind Kind, node cluster.NodeID, task string, args ...Arg) {
+	t.events = append(t.events, Event{
+		At: t.eng.Now(), Kind: kind, Node: node, Task: task, Args: args,
+	})
+	t.reg.Inc("events."+kind.String(), 1)
+}
+
+// SizerDecision records one Algorithm 1 sizing decision with its inputs:
+// the node's relative speed, its current size unit, the fair-share clamp,
+// the unbound BUs remaining, and the size actually requested.
+func (t *Tracer) SizerDecision(node cluster.NodeID, relSpeed float64, sizeUnit, fairShare, remaining, size int) {
+	if t == nil {
+		return
+	}
+	t.emit(KindSizer, node, "",
+		Float("rel_speed", relSpeed),
+		Int("size_unit", int64(sizeUnit)),
+		Int("fair_share", int64(fairShare)),
+		Int("remaining", int64(remaining)),
+		Int("size", int64(size)))
+}
+
+// TaskBind records Late Task Binding materializing a map task.
+func (t *Tracer) TaskBind(task string, node cluster.NodeID, bus, local int) {
+	if t == nil {
+		return
+	}
+	t.emit(KindTaskBind, node, task,
+		Int("bus", int64(bus)), Int("local", int64(local)))
+}
+
+// MapDispatch records a map attempt launching.
+func (t *Tracer) MapDispatch(task string, node cluster.NodeID, wave, bus, local int, bytes, remoteBytes int64, speculative bool) {
+	if t == nil {
+		return
+	}
+	t.emit(KindMapDispatch, node, task,
+		Int("wave", int64(wave)), Int("bus", int64(bus)), Int("local", int64(local)),
+		Int("bytes", bytes), Int("remote_bytes", remoteBytes),
+		Bool("speculative", speculative))
+	t.reg.Inc("tasks.map_dispatched", 1)
+	if speculative {
+		t.reg.Inc("tasks.speculative", 1)
+	}
+	t.reg.Inc("bytes.remote_read", remoteBytes)
+}
+
+// ReduceDispatch records a reduce attempt launching.
+func (t *Tracer) ReduceDispatch(task string, node cluster.NodeID, partBytes int64) {
+	if t == nil {
+		return
+	}
+	t.emit(KindReduceDispatch, node, task, Int("bytes", partBytes))
+	t.reg.Inc("tasks.reduce_dispatched", 1)
+}
+
+// TaskDone records an attempt completing successfully.
+func (t *Tracer) TaskDone(task string, node cluster.NodeID, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.emit(KindTaskDone, node, task, Int("bytes", bytes))
+	t.reg.Inc("tasks.done", 1)
+}
+
+// TaskKill records an attempt stopped before completion; crashed marks a
+// fault-induced termination rather than a scheduling decision.
+func (t *Tracer) TaskKill(task string, node cluster.NodeID, crashed bool) {
+	if t == nil {
+		return
+	}
+	t.emit(KindTaskKill, node, task, Bool("crashed", crashed))
+	if crashed {
+		t.reg.Inc("tasks.crashed", 1)
+	} else {
+		t.reg.Inc("tasks.killed", 1)
+	}
+}
+
+// Commit records map output for a batch of BUs becoming shuffle-visible.
+func (t *Tracer) Commit(node cluster.NodeID, bus int, interBytes int64) {
+	if t == nil {
+		return
+	}
+	t.emit(KindCommit, node, "",
+		Int("bus", int64(bus)), Int("inter_bytes", interBytes))
+	t.reg.Inc("bus.committed", int64(bus))
+}
+
+// Heartbeat records one IPS sample entering a node's speed window and
+// the window mean after it; completion marks samples contributed by an
+// attempt finishing rather than a heartbeat round.
+func (t *Tracer) Heartbeat(node cluster.NodeID, sampleIPS, windowIPS float64, completion bool) {
+	if t == nil {
+		return
+	}
+	t.emit(KindHeartbeat, node, "",
+		Float("ips", sampleIPS), Float("window_ips", windowIPS),
+		Bool("completion", completion))
+	t.reg.Set("speed.node"+pad2(int(node)), windowIPS)
+	t.reg.Inc("heartbeat.samples", 1)
+}
+
+// ReducePlace records one biased reducer placement: the partition, the
+// chosen node's c² acceptance probability, the number of rejection-
+// sampling draws spent, and whether the bail-out fallback fired.
+func (t *Tracer) ReducePlace(partition int, node cluster.NodeID, accept float64, draws int, fallback bool) {
+	if t == nil {
+		return
+	}
+	t.emit(KindReducePlace, node, "",
+		Int("partition", int64(partition)),
+		Float("accept", accept), Int("draws", int64(draws)), Bool("fallback", fallback))
+	t.reg.Inc("reduce.placements", 1)
+	t.reg.Inc("reduce.placement_draws", int64(draws))
+}
+
+// FaultInject records the injector applying one scheduled fault.
+func (t *Tracer) FaultInject(kind string, node cluster.NodeID, duration sim.Duration, factor float64) {
+	if t == nil {
+		return
+	}
+	t.emit(KindFaultInject, node, "",
+		Str("fault", kind), Float("duration", float64(duration)), Float("factor", factor))
+	t.reg.Inc("faults.injected", 1)
+}
+
+// FaultDetect records the NodeWatcher declaring a node lost.
+func (t *Tracer) FaultDetect(node cluster.NodeID) {
+	if t == nil {
+		return
+	}
+	t.emit(KindFaultDetect, node, "")
+	t.reg.Inc("faults.detected", 1)
+}
+
+// FaultRecover records a down node heartbeating again; declared says
+// whether the outage had been long enough to be declared a loss.
+func (t *Tracer) FaultRecover(node cluster.NodeID, declared bool) {
+	if t == nil {
+		return
+	}
+	t.emit(KindFaultRecover, node, "", Bool("declared", declared))
+	t.reg.Inc("faults.recovered", 1)
+}
+
+// FinalizeRun stamps end-of-run engine gauges (events fired, final
+// virtual time) into the registry. The runner calls it once after the
+// simulation drains.
+func (t *Tracer) FinalizeRun() {
+	if t == nil {
+		return
+	}
+	t.reg.Set("sim.events_fired", float64(t.eng.Fired()))
+	t.reg.Set("sim.final_time", float64(t.eng.Now()))
+}
+
+// pad2 zero-pads small non-negative ints to two digits so gauge names
+// sort numerically.
+func pad2(v int) string {
+	if v < 0 {
+		return strconv.Itoa(v)
+	}
+	if v < 10 {
+		return "0" + strconv.Itoa(v)
+	}
+	return strconv.Itoa(v)
+}

@@ -3,6 +3,7 @@ package yarn
 import (
 	"flexmap/internal/cluster"
 	"flexmap/internal/sim"
+	"flexmap/internal/trace"
 )
 
 // Liveness defaults: NodeManagers heartbeat every 5 seconds and a node
@@ -28,6 +29,9 @@ type NodeWatcher struct {
 	// MissThreshold is the number of consecutive missed heartbeats after
 	// which a node is declared lost.
 	MissThreshold int
+
+	// Trace, when non-nil, records loss declarations and rejoins.
+	Trace *trace.Tracer
 
 	eng      *sim.Engine
 	c        *cluster.Cluster
@@ -79,6 +83,7 @@ func (w *NodeWatcher) tick(now sim.Time) {
 	for _, n := range w.c.Nodes {
 		if !n.Down() {
 			rejoined := w.lost[n.ID] || w.wasDown[n.ID]
+			declared := w.lost[n.ID]
 			w.lost[n.ID] = false
 			w.wasDown[n.ID] = false
 			w.lastBeat[n.ID] = now
@@ -86,6 +91,7 @@ func (w *NodeWatcher) tick(now sim.Time) {
 				// Re-registration: the restored node's first heartbeat. Even
 				// after an outage too brief to be declared, its containers
 				// died, so capacity is reconciled and rejoin hooks fire.
+				w.Trace.FaultRecover(n.ID, declared)
 				w.rm.NodeRestored(n.ID)
 				for _, fn := range w.onRejoin {
 					fn(n.ID)
@@ -96,6 +102,7 @@ func (w *NodeWatcher) tick(now sim.Time) {
 		w.wasDown[n.ID] = true
 		if !w.lost[n.ID] && sim.Duration(now-w.lastBeat[n.ID]) >= w.Period*sim.Duration(w.MissThreshold) {
 			w.lost[n.ID] = true
+			w.Trace.FaultDetect(n.ID)
 			w.rm.NodeLost(n.ID)
 			for _, fn := range w.onLost {
 				fn(n.ID)
