@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/dfs"
+	"flexmap/internal/engine"
+	"flexmap/internal/mr"
+	"flexmap/internal/randutil"
+	"flexmap/internal/sim"
+	"flexmap/internal/yarn"
+)
+
+// benchMonitor builds a SpeedMonitor over an n-node cluster with every
+// node's IPS window full — the state every mid-job dispatch sees.
+func benchMonitor(b *testing.B, n int) *SpeedMonitor {
+	b.Helper()
+	eng := sim.New()
+	specs := make([]cluster.NodeSpec, n)
+	for i := range specs {
+		specs[i] = cluster.NodeSpec{BaseSpeed: 1 + float64(i%4), Slots: 2}
+	}
+	c := cluster.NewCluster("bench", specs)
+	store := dfs.NewStore(c, 3, randutil.New(1))
+	if _, err := store.AddFile("input", 64*dfs.BUSize); err != nil {
+		b.Fatal(err)
+	}
+	spec := mr.JobSpec{Name: "wc", InputFile: "input", MapCost: 1}
+	d, err := engine.NewDriver(eng, c, store, yarn.NewRM(eng, c), engine.DefaultCostModel(), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewSpeedMonitor(d)
+	for i := 0; i < n; i++ {
+		for k := 0; k < ipsWindow; k++ {
+			m.push(cluster.NodeID(i), float64(1+i%4)*10e6+float64(k))
+		}
+	}
+	return m
+}
+
+// BenchmarkRelativeSpeeds measures the per-dispatch speed-map cost:
+// OnSlotFree consults it before sizing every elastic task.
+func BenchmarkRelativeSpeeds(b *testing.B) {
+	m := benchMonitor(b, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rel := m.RelativeSpeeds(); len(rel) != 200 {
+			b.Fatal("short map")
+		}
+	}
+}
+
+// BenchmarkNormalizedCapacities measures the reduce-placement capacity
+// map consulted once per reduce wave.
+func BenchmarkNormalizedCapacities(b *testing.B) {
+	m := benchMonitor(b, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if caps := m.NormalizedCapacities(); len(caps) != 200 {
+			b.Fatal("short map")
+		}
+	}
+}
+
+// BenchmarkMonitorPush measures one heartbeat sample insertion.
+func BenchmarkMonitorPush(b *testing.B) {
+	m := benchMonitor(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.push(cluster.NodeID(i%8), float64(i))
+	}
+}

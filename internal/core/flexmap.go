@@ -114,7 +114,8 @@ func (am *AM) OnSlotFree(node *cluster.Node) bool {
 	if am.tracker.Remaining() == 0 {
 		return am.trySpeculate(node)
 	}
-	rel := am.monitor.RelativeSpeeds()[node.ID]
+	rels := am.monitor.RelativeSpeeds()
+	rel := rels[node.ID]
 	if am.NoHorizontal {
 		rel = 1
 	}
@@ -124,7 +125,7 @@ func (am *AM) OnSlotFree(node *cluster.Node) bool {
 	// nodes finish together — DataProvision's ideal of data proportional
 	// to capacity — instead of stranding one full-size task on a slow
 	// node after the pool empties.
-	fair := am.fairShare(node, rel)
+	fair := am.fairShare(node, rel, rels)
 	if size > fair {
 		size = fair
 	}
@@ -152,9 +153,10 @@ func (am *AM) OnSlotFree(node *cluster.Node) bool {
 // fairShare returns this node's capacity-proportional share of the
 // remaining BUs when the job is inside its final wave — i.e. when the
 // remainder no longer fills every slot at current task sizes. Outside
-// the final wave it returns a large value (no clamp).
-func (am *AM) fairShare(node *cluster.Node, rel float64) int {
-	rels := am.monitor.RelativeSpeeds()
+// the final wave it returns a large value (no clamp). rels is the
+// caller's current RelativeSpeeds map, passed in so the per-dispatch path
+// computes it exactly once.
+func (am *AM) fairShare(node *cluster.Node, rel float64, rels map[cluster.NodeID]float64) int {
 	var totalRel float64
 	oneWave := 0
 	for _, n := range am.d.Cluster.Nodes {

@@ -253,7 +253,7 @@ func TestFairShareRemainderBelowFloor(t *testing.T) {
 	}
 	// remaining = 3 < the 4-BU floor: the clamp to Remaining must win over
 	// the floor, not hand out BUs that no longer exist.
-	if got := am.fairShare(c.Nodes[0], 1.0); got != 3 {
+	if got := am.fairShare(c.Nodes[0], 1.0, am.monitor.RelativeSpeeds()); got != 3 {
 		t.Fatalf("fairShare with 3 BUs left = %d, want 3", got)
 	}
 }
@@ -266,7 +266,7 @@ func TestFairShareZeroCapacityCluster(t *testing.T) {
 	for _, n := range c.Nodes {
 		n.Slots = 0
 	}
-	if got := am.fairShare(c.Nodes[0], 1.0); got != 64 {
+	if got := am.fairShare(c.Nodes[0], 1.0, am.monitor.RelativeSpeeds()); got != 64 {
 		t.Fatalf("fairShare on zero-capacity cluster = %d, want remaining (64)", got)
 	}
 }
@@ -286,10 +286,10 @@ func TestFairShareEndgameProportional(t *testing.T) {
 	// capacity-proportional (⌊17×8/18⌋+1 = 8); slow node's proportional
 	// share (1) is lifted to the 4-BU floor.
 	rels := am.monitor.RelativeSpeeds()
-	if got := am.fairShare(c.Nodes[0], rels[0]); got != 8 {
+	if got := am.fairShare(c.Nodes[0], rels[0], rels); got != 8 {
 		t.Fatalf("fast node fairShare = %d, want 8", got)
 	}
-	if got := am.fairShare(c.Nodes[1], rels[1]); got != 4 {
+	if got := am.fairShare(c.Nodes[1], rels[1], rels); got != 4 {
 		t.Fatalf("slow node fairShare = %d, want 4 (the floor)", got)
 	}
 }

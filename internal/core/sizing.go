@@ -69,13 +69,17 @@ func (s *Sizer) ApplyFeedback(node, taskBUs int, productivity float64) {
 	s.units[node] = u
 }
 
-// TaskSize performs horizontal scaling: m_i = s_i × relSpeed, clamped to
-// [1, MaxBUs]. relSpeed is the node's speed relative to the slowest node.
+// TaskSize performs horizontal scaling: m_i = s_i × relSpeed rounded to
+// the nearest BU, clamped to [1, MaxBUs]. relSpeed is the node's speed
+// relative to the slowest node. Rounding (not flooring) matches the
+// paper's m_i: a node measured 2.9× the slowest deserves a 3-BU-per-unit
+// task, and truncation systematically under-sizes fast nodes whose
+// relative speed sits just below an integer.
 func (s *Sizer) TaskSize(node int, relSpeed float64) int {
 	if relSpeed < 1 {
 		relSpeed = 1
 	}
-	m := int(float64(s.SizeUnit(node)) * relSpeed)
+	m := int(float64(s.SizeUnit(node))*relSpeed + 0.5)
 	if m < 1 {
 		m = 1
 	}

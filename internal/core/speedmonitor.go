@@ -28,8 +28,50 @@ const ipsWindow = 5
 // every node starts with — still inform the estimate.
 type SpeedMonitor struct {
 	driver  *engine.Driver
-	samples map[cluster.NodeID][]float64 // ring of recent round samples
+	samples map[cluster.NodeID]*ipsRing // recent round samples per node
 	ticker  *sim.Ticker
+
+	// Reused result buffers for RelativeSpeeds/NormalizedCapacities and a
+	// scratch slice of raw speeds. Every cluster node's key is overwritten
+	// on every call, so stale entries can never leak between calls.
+	relBuf  map[cluster.NodeID]float64
+	capBuf  map[cluster.NodeID]float64
+	scratch []float64
+}
+
+// ipsRing is a fixed-capacity ring of the last ipsWindow IPS samples.
+// Replacing the former grow-and-reslice []float64 removes the periodic
+// reallocation on every window slide.
+type ipsRing struct {
+	buf  [ipsWindow]float64
+	head int // next write position
+	n    int // valid samples, ≤ ipsWindow
+}
+
+func (r *ipsRing) push(v float64) {
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % ipsWindow
+	if r.n < ipsWindow {
+		r.n++
+	}
+}
+
+// mean averages the window, summing oldest-first: float addition is not
+// associative, and byte-identical output requires the exact summation
+// order of the chronological-slice implementation this ring replaced.
+func (r *ipsRing) mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	start := r.head - r.n
+	if start < 0 {
+		start += ipsWindow
+	}
+	var sum float64
+	for k := 0; k < r.n; k++ {
+		sum += r.buf[(start+k)%ipsWindow]
+	}
+	return sum / float64(r.n)
 }
 
 // NewSpeedMonitor attaches a monitor to the driver's cluster and starts
@@ -37,7 +79,7 @@ type SpeedMonitor struct {
 func NewSpeedMonitor(d *engine.Driver) *SpeedMonitor {
 	m := &SpeedMonitor{
 		driver:  d,
-		samples: make(map[cluster.NodeID][]float64, d.Cluster.Size()),
+		samples: make(map[cluster.NodeID]*ipsRing, d.Cluster.Size()),
 	}
 	m.ticker = sim.NewTicker(d.Eng, HeartbeatPeriod, "heartbeat", m.round)
 	d.OnFinished(m.Stop)
@@ -105,11 +147,12 @@ func remoteHeavy(a *engine.MapAttempt) bool {
 }
 
 func (m *SpeedMonitor) push(id cluster.NodeID, ips float64) {
-	s := append(m.samples[id], ips)
-	if len(s) > ipsWindow {
-		s = s[len(s)-ipsWindow:]
+	r := m.samples[id]
+	if r == nil {
+		r = &ipsRing{}
+		m.samples[id] = r
 	}
-	m.samples[id] = s
+	r.push(ips)
 }
 
 // ResetNode clears a node's IPS window. Called when a node rejoins after
@@ -123,58 +166,79 @@ func (m *SpeedMonitor) ResetNode(id cluster.NodeID) {
 // GetSpeed returns the node's estimated IPS in bytes/second, or 0 when no
 // report has arrived yet.
 func (m *SpeedMonitor) GetSpeed(id cluster.NodeID) float64 {
-	s := m.samples[id]
-	if len(s) == 0 {
-		return 0
+	if r := m.samples[id]; r != nil {
+		return r.mean()
 	}
-	var sum float64
-	for _, v := range s {
-		sum += v
+	return 0
+}
+
+// speeds fills the scratch slice with each node's current IPS, positions
+// matching Cluster.Nodes.
+func (m *SpeedMonitor) speeds() []float64 {
+	nodes := m.driver.Cluster.Nodes
+	if cap(m.scratch) < len(nodes) {
+		m.scratch = make([]float64, len(nodes))
 	}
-	return sum / float64(len(s))
+	sp := m.scratch[:len(nodes)]
+	for i, n := range nodes {
+		sp[i] = m.GetSpeed(n.ID)
+	}
+	return sp
 }
 
 // RelativeSpeeds returns each node's speed normalized to the slowest node
 // with a measurement (≥1 for all measured nodes). Nodes without
 // measurements report 1.0 — indistinguishable from the slowest, which is
 // exactly the paper's conservative starting assumption.
+//
+// The returned map is owned by the monitor and reused: it is valid until
+// the next RelativeSpeeds call. Callers must not retain it.
 func (m *SpeedMonitor) RelativeSpeeds() map[cluster.NodeID]float64 {
+	nodes := m.driver.Cluster.Nodes
+	sp := m.speeds()
 	slowest := 0.0
-	for _, n := range m.driver.Cluster.Nodes {
-		if s := m.GetSpeed(n.ID); s > 0 && (slowest == 0 || s < slowest) {
+	for _, s := range sp {
+		if s > 0 && (slowest == 0 || s < slowest) {
 			slowest = s
 		}
 	}
-	out := make(map[cluster.NodeID]float64, m.driver.Cluster.Size())
-	for _, n := range m.driver.Cluster.Nodes {
-		s := m.GetSpeed(n.ID)
-		if s <= 0 || slowest <= 0 {
-			out[n.ID] = 1.0
+	if m.relBuf == nil {
+		m.relBuf = make(map[cluster.NodeID]float64, len(nodes))
+	}
+	for i, n := range nodes {
+		if sp[i] <= 0 || slowest <= 0 {
+			m.relBuf[n.ID] = 1.0
 			continue
 		}
-		out[n.ID] = s / slowest
+		m.relBuf[n.ID] = sp[i] / slowest
 	}
-	return out
+	return m.relBuf
 }
 
 // NormalizedCapacities returns each node's capacity c_i normalized to the
 // fastest measured node (c ∈ (0,1]), the quantity the biased reduce
 // dispatcher squares. Unmeasured nodes get 1.0.
+//
+// Like RelativeSpeeds, the returned map is a reused buffer valid until
+// the next NormalizedCapacities call.
 func (m *SpeedMonitor) NormalizedCapacities() map[cluster.NodeID]float64 {
+	nodes := m.driver.Cluster.Nodes
+	sp := m.speeds()
 	fastest := 0.0
-	for _, n := range m.driver.Cluster.Nodes {
-		if s := m.GetSpeed(n.ID); s > fastest {
+	for _, s := range sp {
+		if s > fastest {
 			fastest = s
 		}
 	}
-	out := make(map[cluster.NodeID]float64, m.driver.Cluster.Size())
-	for _, n := range m.driver.Cluster.Nodes {
-		s := m.GetSpeed(n.ID)
-		if s <= 0 || fastest <= 0 {
-			out[n.ID] = 1.0
+	if m.capBuf == nil {
+		m.capBuf = make(map[cluster.NodeID]float64, len(nodes))
+	}
+	for i, n := range nodes {
+		if sp[i] <= 0 || fastest <= 0 {
+			m.capBuf[n.ID] = 1.0
 			continue
 		}
-		out[n.ID] = s / fastest
+		m.capBuf[n.ID] = sp[i] / fastest
 	}
-	return out
+	return m.capBuf
 }

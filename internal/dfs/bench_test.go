@@ -1,0 +1,80 @@
+package dfs
+
+import (
+	"testing"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/randutil"
+)
+
+// benchTracker builds a store + tracker over a buCount-BU file on a
+// homogeneous cluster, the shape the AM's dispatch loop sees.
+func benchTracker(b *testing.B, nodes, buCount int) (*Store, *Tracker) {
+	b.Helper()
+	s := NewStore(cluster.Homogeneous(nodes), 3, randutil.New(1))
+	if _, err := s.AddFile("f", int64(buCount)*BUSize); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := NewTracker(s, "f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, tr
+}
+
+// BenchmarkTrackerTakeLocal measures the local-bind hot path: round-robin
+// nodes each taking 8 BUs until the pool drains, then a fresh tracker.
+// The per-take cost is what every elastic-task dispatch pays.
+func BenchmarkTrackerTakeLocal(b *testing.B) {
+	const nodes, bus = 50, 16384
+	s, tr := benchTracker(b, nodes, bus)
+	b.ReportAllocs()
+	b.ResetTimer()
+	node := 0
+	for i := 0; i < b.N; i++ {
+		if tr.Remaining() == 0 {
+			tr, _ = NewTracker(s, "f")
+		}
+		if got := tr.TakeLocal(cluster.NodeID(node%nodes), 8); len(got) == 0 {
+			// Node drained locally; fall through to any node via Take.
+			tr.Take(cluster.NodeID(node%nodes), 8)
+		}
+		node++
+	}
+}
+
+// BenchmarkTrackerTakeRemote measures the richest-node heuristic under
+// repeated 8-BU remote chunks.
+func BenchmarkTrackerTakeRemote(b *testing.B) {
+	const nodes, bus = 50, 16384
+	s, tr := benchTracker(b, nodes, bus)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.Remaining() == 0 {
+			tr, _ = NewTracker(s, "f")
+		}
+		if got := tr.TakeRemote(8); len(got) == 0 {
+			b.Fatal("TakeRemote returned nothing with BUs remaining")
+		}
+	}
+}
+
+// BenchmarkTrackerTake measures the combined local-then-remote split
+// construction exactly as OnSlotFree performs it.
+func BenchmarkTrackerTake(b *testing.B) {
+	const nodes, bus = 50, 16384
+	s, tr := benchTracker(b, nodes, bus)
+	b.ReportAllocs()
+	b.ResetTimer()
+	node := 0
+	for i := 0; i < b.N; i++ {
+		if tr.Remaining() == 0 {
+			tr, _ = NewTracker(s, "f")
+		}
+		if got, _ := tr.Take(cluster.NodeID(node%nodes), 12); len(got) == 0 {
+			b.Fatal("Take returned nothing with BUs remaining")
+		}
+		node++
+	}
+}

@@ -12,13 +12,66 @@ import (
 // to exactly one map task.
 //
 // The simulation is single-goroutine (event-driven), so no locking is
-// needed; exclusivity is enforced by removing a BU from every index the
-// moment it is taken.
+// needed; exclusivity is enforced by the authoritative `remaining` set —
+// a BU leaves it the moment it is taken.
+//
+// # Performance
+//
+// The per-node index is a sorted BUID slice with a scan cursor rather
+// than a hash set: TakeLocal walks the slice from the cursor, skipping
+// entries already taken through another replica holder (lazy staleness),
+// so a take of k BUs costs O(k + skipped) instead of the former
+// collect-and-sort of the whole local set. Each slice position is passed
+// by the cursor at most once over the tracker's lifetime, so skipping is
+// amortized O(1). TakeRemote keeps a lazy max-heap of (live count, node)
+// entries instead of rescanning every node per chunk. See DESIGN.md §11.
 type Tracker struct {
-	store       *Store
-	nodeToBlock map[cluster.NodeID]map[BUID]bool
-	remaining   map[BUID]bool
-	total       int
+	store     *Store
+	byNode    map[cluster.NodeID]*nodeSet
+	remaining map[BUID]bool
+	total     int
+	richest   []heapEntry // lazy max-heap by (live desc, node asc)
+}
+
+// nodeSet indexes the unprocessed BUs replicated on one node.
+type nodeSet struct {
+	// ids[start:] is sorted ascending and contains every unprocessed BU
+	// with a replica on this node, possibly interleaved with stale
+	// entries for BUs taken via another replica holder.
+	ids   []BUID
+	start int // scan cursor; everything before it is consumed or stale
+	live  int // exact count of unprocessed BUs replicated here
+}
+
+// insert puts id back into the sorted active region (crash recovery). A
+// stale entry still ahead of the cursor simply goes live again.
+func (ns *nodeSet) insert(id BUID) {
+	tail := ns.ids[ns.start:]
+	i := sort.Search(len(tail), func(k int) bool { return tail[k] >= id })
+	if i < len(tail) && tail[i] == id {
+		return
+	}
+	pos := ns.start + i
+	ns.ids = append(ns.ids, 0)
+	copy(ns.ids[pos+1:], ns.ids[pos:])
+	ns.ids[pos] = id
+}
+
+// heapEntry is a (possibly stale) upper bound on a node's live count.
+// The heap invariant is that every node with live > 0 has at least one
+// entry whose live field is ≥ the node's true live count, so the heap
+// top — once validated against the true count — is exactly the node the
+// old linear scan would have picked, including the lowest-ID tie-break.
+type heapEntry struct {
+	live int
+	node cluster.NodeID
+}
+
+func entryAbove(a, b heapEntry) bool {
+	if a.live != b.live {
+		return a.live > b.live
+	}
+	return a.node < b.node
 }
 
 // NewTracker indexes all BUs of a file for late binding.
@@ -28,21 +81,33 @@ func NewTracker(store *Store, file string) (*Tracker, error) {
 		return nil, errNoFile(file)
 	}
 	t := &Tracker{
-		store:       store,
-		nodeToBlock: make(map[cluster.NodeID]map[BUID]bool),
-		remaining:   make(map[BUID]bool, len(f.BUs)),
-		total:       len(f.BUs),
+		store:     store,
+		byNode:    make(map[cluster.NodeID]*nodeSet),
+		remaining: make(map[BUID]bool, len(f.BUs)),
+		total:     len(f.BUs),
 	}
 	for _, id := range f.BUs {
 		t.remaining[id] = true
 		for _, nid := range store.NodesFor(id) {
-			m := t.nodeToBlock[nid]
-			if m == nil {
-				m = make(map[BUID]bool)
-				t.nodeToBlock[nid] = m
+			ns := t.byNode[nid]
+			if ns == nil {
+				ns = &nodeSet{}
+				t.byNode[nid] = ns
 			}
-			m[id] = true
+			ns.ids = append(ns.ids, id)
+			ns.live++
 		}
+	}
+	// File BUs are assigned in ascending order, but sort defensively so
+	// the cursor invariant never depends on Store layout details.
+	nids := make([]cluster.NodeID, 0, len(t.byNode))
+	for nid, ns := range t.byNode {
+		sort.Slice(ns.ids, func(i, j int) bool { return ns.ids[i] < ns.ids[j] })
+		nids = append(nids, nid)
+	}
+	sort.Slice(nids, func(i, j int) bool { return nids[i] < nids[j] })
+	for _, nid := range nids {
+		t.pushRichest(heapEntry{live: t.byNode[nid].live, node: nid})
 	}
 	return t, nil
 }
@@ -59,14 +124,18 @@ func (t *Tracker) Total() int { return t.total }
 
 // LocalCount returns the number of unprocessed BUs with a replica on node.
 func (t *Tracker) LocalCount(node cluster.NodeID) int {
-	return len(t.nodeToBlock[node])
+	if ns := t.byNode[node]; ns != nil {
+		return ns.live
+	}
+	return 0
 }
 
-// take removes one BU from every index.
+// take removes one BU from the pool, decrementing every replica holder's
+// live count. Slice entries are left behind as lazy tombstones.
 func (t *Tracker) take(id BUID) {
 	delete(t.remaining, id)
 	for _, nid := range t.store.NodesFor(id) {
-		delete(t.nodeToBlock[nid], id)
+		t.byNode[nid].live--
 	}
 }
 
@@ -81,12 +150,14 @@ func (t *Tracker) Restore(bus []BUID) {
 		}
 		t.remaining[id] = true
 		for _, nid := range t.store.NodesFor(id) {
-			m := t.nodeToBlock[nid]
-			if m == nil {
-				m = make(map[BUID]bool)
-				t.nodeToBlock[nid] = m
+			ns := t.byNode[nid]
+			if ns == nil {
+				ns = &nodeSet{}
+				t.byNode[nid] = ns
 			}
-			m[id] = true
+			ns.insert(id)
+			ns.live++
+			t.pushRichest(heapEntry{live: ns.live, node: nid})
 		}
 	}
 }
@@ -94,22 +165,27 @@ func (t *Tracker) Restore(bus []BUID) {
 // TakeLocal removes and returns up to n unprocessed BUs that have replicas
 // on node, in deterministic (ascending BUID) order.
 func (t *Tracker) TakeLocal(node cluster.NodeID, n int) []BUID {
-	local := t.nodeToBlock[node]
-	if len(local) == 0 || n <= 0 {
+	ns := t.byNode[node]
+	if ns == nil || ns.live == 0 || n <= 0 {
 		return nil
 	}
-	ids := make([]BUID, 0, len(local))
-	for id := range local {
-		ids = append(ids, id)
+	want := n
+	if ns.live < want {
+		want = ns.live
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	if len(ids) > n {
-		ids = ids[:n]
-	}
-	for _, id := range ids {
+	out := make([]BUID, 0, want)
+	i := ns.start
+	for i < len(ns.ids) && len(out) < n {
+		id := ns.ids[i]
+		i++
+		if !t.remaining[id] {
+			continue // taken via another replica holder; drop the tombstone
+		}
+		out = append(out, id)
 		t.take(id)
 	}
-	return ids
+	ns.start = i
+	return out
 }
 
 // TakeRemote removes and returns up to n unprocessed BUs following the
@@ -119,20 +195,77 @@ func (t *Tracker) TakeLocal(node cluster.NodeID, n int) []BUID {
 func (t *Tracker) TakeRemote(n int) []BUID {
 	var out []BUID
 	for len(out) < n && len(t.remaining) > 0 {
-		richest := cluster.NodeID(-1)
-		best := -1
-		for nid, m := range t.nodeToBlock {
-			if len(m) > best || (len(m) == best && (richest < 0 || nid < richest)) {
-				best, richest = len(m), nid
-			}
-		}
-		if best <= 0 {
+		nid, ok := t.popRichest()
+		if !ok {
 			break
 		}
-		got := t.TakeLocal(richest, n-len(out))
-		out = append(out, got...)
+		out = append(out, t.TakeLocal(nid, n-len(out))...)
+		if ns := t.byNode[nid]; ns.live > 0 {
+			t.pushRichest(heapEntry{live: ns.live, node: nid})
+		}
 	}
 	return out
+}
+
+// popRichest pops heap entries until one matches its node's true live
+// count — by the upper-bound invariant that node is the richest (ties to
+// the lowest node ID). Stale entries are either discarded (node drained)
+// or re-pushed with the corrected count.
+func (t *Tracker) popRichest() (cluster.NodeID, bool) {
+	for len(t.richest) > 0 {
+		top := t.richest[0]
+		t.heapPop()
+		cur := t.byNode[top.node].live
+		if cur == top.live {
+			return top.node, true
+		}
+		if cur > 0 {
+			t.pushRichest(heapEntry{live: cur, node: top.node})
+		}
+	}
+	return 0, false
+}
+
+func (t *Tracker) pushRichest(e heapEntry) {
+	h := append(t.richest, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !entryAbove(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	t.richest = h
+}
+
+func (t *Tracker) heapPop() {
+	h := t.richest
+	n := len(h) - 1
+	e := h[n]
+	t.richest = h[:n]
+	h = t.richest
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && entryAbove(h[c+1], h[c]) {
+			c++
+		}
+		if !entryAbove(h[c], e) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = e
 }
 
 // Take builds an n-BU input split for a container on node: local BUs

@@ -158,7 +158,7 @@ type MapAttempt struct {
 	noiseMult   float64
 	phase       attemptPhase
 	phaseEndsAt sim.Time
-	phaseEv     *sim.Event
+	phaseEv     sim.Handle
 	work        *Work
 	fetchDur    sim.Duration
 	computeAt   sim.Time
@@ -382,9 +382,9 @@ func (a *MapAttempt) kill(crashed bool) bool {
 		a.crashProcessed = a.ProcessedBytes(now)
 	}
 	a.killed = true
-	if a.phaseEv != nil {
-		a.d.Eng.Cancel(a.phaseEv)
-	}
+	// In phaseCompute the handle is stale (the fetch event already
+	// fired); Cancel on a stale handle is a guaranteed no-op.
+	a.d.Eng.Cancel(a.phaseEv)
 	var effective sim.Duration
 	if a.phase == phaseCompute {
 		a.d.Exec.Cancel(a.work)

@@ -20,7 +20,7 @@ type Work struct {
 	rate  float64 // units/second at lastSync
 
 	lastSync sim.Time
-	ev       *sim.Event
+	ev       sim.Handle
 	onDone   func()
 	exec     *Executor
 	finished bool
@@ -52,11 +52,10 @@ func (w *Work) sync(now sim.Time) {
 }
 
 // plan (re)schedules the completion event from the current state.
+// Canceling a handle whose event already fired or was never scheduled is
+// a no-op, so no pending-state bookkeeping is needed.
 func (w *Work) plan(eng *sim.Engine) {
-	if w.ev != nil {
-		eng.Cancel(w.ev)
-		w.ev = nil
-	}
+	eng.Cancel(w.ev)
 	if w.finished || w.canceled {
 		return
 	}
@@ -148,10 +147,7 @@ func (x *Executor) Cancel(w *Work) {
 	}
 	w.sync(x.eng.Now())
 	w.canceled = true
-	if w.ev != nil {
-		x.eng.Cancel(w.ev)
-		w.ev = nil
-	}
+	x.eng.Cancel(w.ev)
 	x.detach(w)
 }
 

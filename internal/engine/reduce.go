@@ -120,7 +120,7 @@ type reduceRun struct {
 	node      *cluster.Node
 	start     sim.Time
 	partBytes int64
-	ev        *sim.Event // pending overhead+fetch event
+	ev        sim.Handle // pending overhead+fetch event
 	work      *Work      // compute work once fetching is done
 }
 
@@ -128,9 +128,7 @@ type reduceRun struct {
 // is logged and the partition is stashed for requeue at delivery time.
 func (rr *reduceRun) crash() {
 	d := rr.d
-	if rr.ev != nil {
-		d.Eng.Cancel(rr.ev)
-	}
+	d.Eng.Cancel(rr.ev)
 	if rr.work != nil {
 		d.Exec.Cancel(rr.work)
 	}
@@ -209,7 +207,7 @@ func (d *Driver) runReduce(p int, n *cluster.Node) {
 	}
 
 	rr.ev = d.Eng.After(d.Cost.Overhead()+fetchDur, "reduce-fetch", func() {
-		rr.ev = nil
+		rr.ev = sim.Handle{}
 		units := float64(partBytes) * d.Spec.ReduceCost
 		if units <= 0 {
 			finish()

@@ -139,6 +139,10 @@ type Result struct {
 	// Trace holds the run's event stream and metrics registry when
 	// Scenario.Trace enabled tracing (nil otherwise).
 	Trace *trace.Tracer
+	// SimEvents is the number of discrete events the simulation fired —
+	// the work unit benchmark harnesses normalize against (events/sec,
+	// allocs/event).
+	SimEvents uint64
 }
 
 // JobFailedError reports a job that terminated itself — stock Hadoop
@@ -293,6 +297,7 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 				BUCommits:  driver.BUCommits(),
 				InputBytes: sc.InputSize,
 				Trace:      tracer,
+				SimEvents:  simEng.Fired(),
 			},
 		}
 	}
@@ -310,6 +315,7 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 		BUCommits:  driver.BUCommits(),
 		InputBytes: sc.InputSize,
 		Trace:      tracer,
+		SimEvents:  simEng.Fired(),
 	}
 	if flexAM != nil {
 		out.SizeTrace = flexAM.SizeTrace

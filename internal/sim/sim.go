@@ -10,10 +10,18 @@
 // application masters, heartbeats — are expressed as events on a single
 // Engine, so an entire MapReduce job runs to completion in microseconds of
 // wall time while reporting calibrated virtual seconds.
+//
+// # Performance
+//
+// The queue is an index-free 4-ary min-heap over (time, seq) with lazy
+// cancellation: Cancel is O(1) — it marks the event and the mark is
+// collected when the event surfaces at the heap root. Fired and collected
+// events return to an intrusive free list and are reused by later At/After
+// calls, so steady-state scheduling performs no per-event allocation. See
+// DESIGN.md §11.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -27,67 +35,69 @@ type Duration float64
 // Infinity is a time later than any event the engine will ever fire.
 const Infinity Time = math.MaxFloat64
 
-// Event is a unit of work scheduled on the virtual clock.
-type Event struct {
+// event is a unit of work scheduled on the virtual clock. Storage is
+// owned by the engine and recycled through a free list once the event
+// fires or its cancellation is collected; callers refer to events only
+// through generation-checked Handles.
+type event struct {
 	at   Time
 	seq  uint64
 	name string
 	fn   func()
 
-	index    int // heap index; -1 when not queued
+	gen      uint32 // incremented when the event's storage is collected
+	queued   bool
 	canceled bool
+	nextFree *event
 }
 
-// At returns the virtual time the event is (or was) scheduled for.
-func (e *Event) At() Time { return e.at }
+// Handle names one scheduled event. The zero Handle is valid and refers
+// to no event (Cancel on it is a no-op). A Handle stays attached to its
+// event for the event's whole lifetime; once the event has fired or its
+// cancellation has been collected, the engine may recycle the storage,
+// after which the Handle is stale and every operation on it — Cancel in
+// particular — is a guaranteed no-op thanks to the generation check.
+type Handle struct {
+	ev  *event
+	gen uint32
+}
 
-// Name returns the diagnostic label given at scheduling time.
-func (e *Event) Name() string { return e.name }
-
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
-
-// eventQueue is a min-heap ordered by (time, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// At returns the virtual time the event is (or was) scheduled for. It
+// reports 0 for the zero Handle and is unspecified once the engine has
+// recycled the event's storage.
+func (h Handle) At() Time {
+	if h.ev == nil {
+		return 0
 	}
-	return q[i].seq < q[j].seq
+	return h.ev.at
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// Name returns the diagnostic label given at scheduling time ("" for the
+// zero Handle; unspecified after recycling).
+func (h Handle) Name() string {
+	if h.ev == nil {
+		return ""
+	}
+	return h.ev.name
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// Canceled reports whether Cancel stopped this event before it fired. An
+// event that actually ran reports false — Cancel after firing is a no-op
+// and leaves no mark. The answer is exact until the engine reuses the
+// event's storage for a new At/After call (the canceled mark survives
+// collection and is only cleared on reuse).
+func (h Handle) Canceled() bool {
+	return h.ev != nil && h.ev.canceled
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	queue   []*event // 4-ary min-heap ordered by (at, seq)
 	fired   uint64
 	stopped bool
+	free    *event // free list of recycled event storage
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -100,55 +110,79 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events still queued (including canceled
-// events that have not yet been popped).
+// events whose marks have not yet been collected from the heap).
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would violate causality and always indicates a bug in the
-// caller. The returned Event may be canceled until it fires.
-func (e *Engine) At(t Time, name string, fn func()) *Event {
+// caller. The returned Handle may be used to Cancel the event until it
+// fires.
+func (e *Engine) At(t Time, name string, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", name, t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, name: name, fn: fn}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.nextFree
+		ev.nextFree = nil
+		ev.canceled = false
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.name, ev.fn, ev.queued = t, e.seq, name, fn, true
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
-func (e *Engine) After(d Duration, name string, fn func()) *Event {
+func (e *Engine) After(d Duration, name string, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
 	}
 	return e.At(e.now+Time(d), name, fn)
 }
 
-// Cancel marks an event so it will not fire. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+// Cancel marks an event so it will not fire. It is O(1): the event keeps
+// its heap slot until it surfaces and is collected. Canceling the zero
+// Handle, an already-canceled event, or an event that already fired is a
+// no-op — in particular, a fired event is never retroactively marked
+// canceled, and a stale Handle whose storage was recycled can never
+// cancel the storage's new occupant.
+func (e *Engine) Cancel(h Handle) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || !ev.queued {
 		return
 	}
 	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
+}
+
+// collect recycles an event's storage onto the free list, invalidating
+// all outstanding Handles to it via the generation bump. The canceled
+// mark is deliberately left in place so Handle.Canceled stays accurate
+// until the storage is reused.
+func (e *Engine) collect(ev *event) {
+	ev.gen++
+	ev.queued = false
+	ev.fn = nil
+	ev.nextFree = e.free
+	e.free = ev
 }
 
 // Step fires the next event, advancing the clock. It reports whether an
 // event was fired (false when the queue is empty or the engine stopped).
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.pop()
 		if ev.canceled {
+			e.collect(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		e.collect(ev)
+		fn()
 		return true
 	}
 	return false
@@ -162,20 +196,28 @@ func (e *Engine) Run() Time {
 	return e.now
 }
 
+// dropCanceledHead collects canceled events sitting at the heap root so
+// the head, if any, is a live event.
+func (e *Engine) dropCanceledHead() {
+	for len(e.queue) > 0 && e.queue[0].canceled {
+		e.collect(e.pop())
+	}
+}
+
 // RunUntil fires events with timestamps ≤ deadline, then sets the clock to
-// the deadline if it is later than the last event fired.
+// the deadline if it is later than the last event fired. If Stop is called
+// (before or during the run) the clock freezes at the last fired event —
+// a stopped simulation never reports a Now() later than the work it
+// actually performed.
 func (e *Engine) RunUntil(deadline Time) Time {
 	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
-		// Peek at the head of the heap.
-		if e.queue[0].at > deadline {
+		e.dropCanceledHead()
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
 			break
 		}
 		e.Step()
 	}
-	if e.now < deadline {
+	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
 	return e.now
@@ -187,3 +229,77 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
+
+// heapArity is the fan-out of the event heap. A 4-ary heap halves tree
+// depth versus binary, trading slightly more comparisons per level for
+// fewer cache-missing hops — the classic d-ary layout for hot priority
+// queues.
+const heapArity = 4
+
+// less orders the heap by (time, seq): FIFO among same-instant events.
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and sifts it up to its position.
+func (e *Engine) push(ev *event) {
+	e.queue = append(e.queue, ev)
+	q := e.queue
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !less(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = ev
+}
+
+// pop removes and returns the minimum event.
+func (e *Engine) pop() *event {
+	q := e.queue
+	root := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places ev into the root hole, walking it down past smaller
+// children.
+func (e *Engine) siftDown(ev *event) {
+	q := e.queue
+	n := len(q)
+	i := 0
+	for {
+		c := i*heapArity + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + heapArity
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(q[j], q[best]) {
+				best = j
+			}
+		}
+		if !less(q[best], ev) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = ev
+}

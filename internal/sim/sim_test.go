@@ -104,13 +104,13 @@ func TestCancelIsIdempotent(t *testing.T) {
 	ev := e.At(3, "c", func() {})
 	e.Cancel(ev)
 	e.Cancel(ev) // must not panic
-	e.Cancel(nil)
+	e.Cancel(Handle{})
 	e.Run()
 }
 
 func TestCancelDuringRun(t *testing.T) {
 	e := New()
-	var later *Event
+	var later Handle
 	fired := false
 	e.At(1, "first", func() { e.Cancel(later) })
 	later = e.At(2, "second", func() { fired = true })
@@ -211,6 +211,93 @@ func TestTickerZeroPeriodPanics(t *testing.T) {
 	NewTicker(New(), 0, "bad", func(Time) {})
 }
 
+// Regression: Cancel on an event that already fired must be a true no-op —
+// it must not retroactively mark the event canceled, and it must not
+// cancel a later event that happens to reuse the same storage.
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := New()
+	h := e.At(1, "fires", func() {})
+	e.Run()
+	e.Cancel(h)
+	if h.Canceled() {
+		t.Fatal("post-fire Cancel retroactively marked the event canceled")
+	}
+
+	// The storage of h's event is now on the free list; the next At call
+	// reuses it. The stale handle must not be able to cancel the new event.
+	fired := false
+	h2 := e.At(2, "reused", func() { fired = true })
+	e.Cancel(h) // stale: generation mismatch
+	e.Run()
+	if !fired {
+		t.Fatal("stale handle canceled a recycled event")
+	}
+	if h2.Canceled() {
+		t.Fatal("recycled event reported canceled")
+	}
+}
+
+// Regression: RunUntil must not advance the clock to the deadline when the
+// engine was stopped mid-run — a stopped simulation's Now() reflects the
+// last event actually fired.
+func TestRunUntilFreezesClockOnStop(t *testing.T) {
+	e := New()
+	e.At(2, "a", func() {})
+	e.At(4, "stop", func() { e.Stop() })
+	e.At(6, "never", func() { t.Error("event fired after Stop") })
+	if got := e.RunUntil(100); got != 4 {
+		t.Fatalf("RunUntil returned %v, want 4 (last fired event)", got)
+	}
+	if e.Now() != 4 {
+		t.Fatalf("clock at %v after Stop, want 4", e.Now())
+	}
+}
+
+// RunUntil on an engine stopped before the call must not move the clock.
+func TestRunUntilAfterStopIsNoOp(t *testing.T) {
+	e := New()
+	e.At(1, "a", func() {})
+	e.Run()
+	e.Stop()
+	if got := e.RunUntil(50); got != 1 {
+		t.Fatalf("RunUntil on stopped engine returned %v, want 1", got)
+	}
+}
+
+// A canceled event at the heap head whose time is within the deadline must
+// not cause RunUntil to fire a live event scheduled past the deadline.
+func TestRunUntilSkipsCanceledHeadWithoutOvershoot(t *testing.T) {
+	e := New()
+	h := e.At(3, "canceled", func() { t.Error("canceled event fired") })
+	fired := false
+	e.At(10, "late", func() { fired = true })
+	e.Cancel(h)
+	e.RunUntil(5)
+	if fired {
+		t.Fatal("RunUntil fired an event past the deadline")
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %v, want 5", e.Now())
+	}
+}
+
+// Steady-state scheduling must reuse event storage: after a warm-up, a
+// schedule-fire cycle performs zero heap allocations.
+func TestSteadyStateNoAllocation(t *testing.T) {
+	e := New()
+	for i := 0; i < 64; i++ {
+		e.After(1, "warm", func() {})
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.After(1, "steady", func() {})
+		e.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule+fire allocates %v objects/op, want 0", allocs)
+	}
+}
+
 // Property: for any random batch of events, firing order is sorted by
 // (time, insertion order) and every non-canceled event fires exactly once.
 func TestPropertyOrderingAndCompleteness(t *testing.T) {
@@ -226,7 +313,7 @@ func TestPropertyOrderingAndCompleteness(t *testing.T) {
 		}
 		var fired []rec
 		canceled := map[int]bool{}
-		events := make([]*Event, len(times))
+		events := make([]Handle, len(times))
 		for i, raw := range times {
 			i, at := i, Time(raw%1000)
 			events[i] = e.At(at, "p", func() { fired = append(fired, rec{at, i}) })

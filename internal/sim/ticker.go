@@ -7,7 +7,7 @@ type Ticker struct {
 	period Duration
 	name   string
 	fn     func(Time)
-	ev     *Event
+	ev     Handle
 	stop   bool
 }
 
@@ -34,10 +34,9 @@ func (t *Ticker) arm() {
 	})
 }
 
-// Stop prevents any further ticks.
+// Stop prevents any further ticks. Canceling the pending tick through a
+// stale handle (Stop from within the tick callback) is a safe no-op.
 func (t *Ticker) Stop() {
 	t.stop = true
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-	}
+	t.eng.Cancel(t.ev)
 }
