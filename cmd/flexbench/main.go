@@ -43,6 +43,7 @@ import (
 	"flexmap/internal/runner"
 	"flexmap/internal/sim"
 	"flexmap/internal/trace"
+	"flexmap/internal/workload"
 	"flexmap/internal/yarn"
 )
 
@@ -58,7 +59,9 @@ type Report struct {
 	Micro     []MicroRun `json:"micro"`
 }
 
-// GridRun is one cell of the scenario grid.
+// GridRun is one cell of the scenario grid. The workload fields are set
+// only on multi-job cells (omitted from single-job cells' JSON), so the
+// schema grows without disturbing existing diff tooling.
 type GridRun struct {
 	Name        string  `json:"name"`
 	Nodes       int     `json:"nodes"`
@@ -73,6 +76,11 @@ type GridRun struct {
 	AllocBytes  uint64  `json:"alloc_bytes"`
 	AllocsPerEv float64 `json:"allocs_per_event"`
 	BytesPerEv  float64 `json:"bytes_per_event"`
+
+	// Workload cells: sustained concurrent-job load through one RM.
+	Jobs              int `json:"jobs,omitempty"`
+	JobsCompleted     int `json:"jobs_completed,omitempty"`
+	MaxConcurrentJobs int `json:"max_concurrent_jobs,omitempty"`
 }
 
 // MicroRun is one in-process microbenchmark result.
@@ -123,6 +131,32 @@ func main() {
 		}
 	}
 
+	// Workload cells run once, at the largest grid size: 120 jobs
+	// arriving fast enough that >100 run concurrently through one RM.
+	// The ≥100-concurrency floor is asserted (and meaningful) only at
+	// 200 nodes and up; smaller -sizes runs report whatever they reach.
+	maxNodes := nodeCounts[0]
+	for _, n := range nodeCounts {
+		if n > maxNodes {
+			maxNodes = n
+		}
+	}
+	// The stock side runs with speculation off: the LATE scan is written
+	// for one waiting job and re-walks every task on each declined offer,
+	// which under ~100 concurrent jobs turns the cell into a quadratic
+	// wall-clock sink without changing what the cell measures (inter-job
+	// scheduling throughput). EXPERIMENTS.md documents the tradeoff.
+	for _, eng := range []runner.EngineKind{runner.HadoopNoSpec, runner.FlexMap} {
+		run, err := runWorkloadCell(maxNodes, eng, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", run.Name, err))
+		}
+		fmt.Printf("%-40s %10.1f ev/ms  %6.1f allocs/ev  %8.0f B/ev  %8.0fms wall  (%d jobs, peak %d concurrent)\n",
+			run.Name, run.EventsPerS/1e3, run.AllocsPerEv, run.BytesPerEv, run.WallMS,
+			run.JobsCompleted, run.MaxConcurrentJobs)
+		rep.Grid = append(rep.Grid, run)
+	}
+
 	rep.Micro = runMicro(*microTime)
 	for _, m := range rep.Micro {
 		fmt.Printf("%-40s %10.1f ns/op  %6.1f allocs/op  %8.1f B/op\n",
@@ -144,6 +178,14 @@ func main() {
 
 	if *maxAllocs > 0 {
 		for _, g := range rep.Grid {
+			// The absolute ceiling gates the single-job hot path. Workload
+			// cells (Jobs > 0) amortize ~100 concurrent jobs' setup and
+			// bookkeeping over far fewer events and sit an order of
+			// magnitude higher by construction; the -check ratio gate
+			// still tracks them against a baseline by name.
+			if g.Jobs > 0 {
+				continue
+			}
 			if g.AllocsPerEv > *maxAllocs {
 				fatal(fmt.Errorf("gate: %s allocates %.1f/event, ceiling %.1f", g.Name, g.AllocsPerEv, *maxAllocs))
 			}
@@ -244,6 +286,71 @@ func runCell(n int, kind runner.EngineKind, withFaults, withTrace bool, busPerNo
 		run.AllocsPerEv = float64(run.Allocs) / float64(res.SimEvents)
 		run.BytesPerEv = float64(run.AllocBytes) / float64(res.SimEvents)
 	}
+	return run, nil
+}
+
+// benchWorkloadJobs is the workload cells' arrival count; arrivals come
+// fast (benchWorkloadRate/s) so nearly all of them overlap, exercising
+// the inter-job scheduler at sustained concurrent load. At 24/s the
+// whole batch lands inside a ~5s window — short enough that even
+// FlexMap's fast elastic drain on 200 nodes keeps 100+ jobs in flight.
+const (
+	benchWorkloadJobs = 120
+	benchWorkloadRate = 24
+)
+
+func runWorkloadCell(n int, kind runner.EngineKind, seed int64) (GridRun, error) {
+	run := GridRun{
+		Name:   fmt.Sprintf("workload/n%d/%s/fair", n, kind),
+		Nodes:  n,
+		Engine: string(kind),
+		Jobs:   benchWorkloadJobs,
+	}
+	spec, err := puma.Spec(puma.WordCount, "input", 4)
+	if err != nil {
+		return run, err
+	}
+	sc := runner.WorkloadScenario{
+		Name:    run.Name,
+		Cluster: benchCluster(n),
+		Seed:    seed,
+		Pattern: workload.Pattern{Jobs: benchWorkloadJobs, Rate: benchWorkloadRate},
+		Classes: []runner.WorkloadClass{{
+			Name: "bench", Weight: 1,
+			MinBytes: 8 * dfs.BUSize, MaxBytes: 24 * dfs.BUSize,
+			Engine: runner.Engine{Kind: kind}, Spec: spec,
+		}},
+		Policy: "fair",
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := runner.RunWorkload(sc)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return run, err
+	}
+	if n >= 200 && res.MaxConcurrent < 100 {
+		return run, fmt.Errorf("sustained-load floor: peak %d concurrent jobs, want >= 100", res.MaxConcurrent)
+	}
+
+	run.SimTimeS = float64(res.Span)
+	run.SimEvents = res.SimEvents
+	run.WallMS = float64(wall) / float64(time.Millisecond)
+	run.Allocs = after.Mallocs - before.Mallocs
+	run.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	if wall > 0 {
+		run.EventsPerS = float64(res.SimEvents) / wall.Seconds()
+	}
+	if res.SimEvents > 0 {
+		run.AllocsPerEv = float64(run.Allocs) / float64(res.SimEvents)
+		run.BytesPerEv = float64(run.AllocBytes) / float64(res.SimEvents)
+	}
+	run.JobsCompleted = res.Completed
+	run.MaxConcurrentJobs = res.MaxConcurrent
 	return run, nil
 }
 

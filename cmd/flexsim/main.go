@@ -12,6 +12,14 @@
 //	        [-slow-fraction 0.2] [-seed 42] [-attempts]
 //	        [-trace events.jsonl] [-perfetto trace.json] [-timeline]
 //	        [-faults 0(crashes/node-hr)] [-fault-downtime 120]
+//	        [-workload 0(jobs)] [-arrival-rate 60] [-arrivals poisson|burst]
+//	        [-policy fifo|fair]
+//
+// With -workload N the command runs an open multi-job workload instead
+// of one job: N arrivals of the chosen benchmark/engine (input sizes
+// drawn between half and the full -size-gb), competing for containers
+// under the chosen inter-job policy, printing per-job outcomes plus
+// cluster-level goodput, utilization and latency percentiles.
 package main
 
 import (
@@ -42,6 +50,10 @@ func main() {
 	skew := flag.Float64("skew", 0, "lognormal sigma of per-block data-skew weights (0 = uniform)")
 	crashRate := flag.Float64("faults", 0, "node crash rate in crashes per node-hour (0 = no fault injection)")
 	downtime := flag.Float64("fault-downtime", 120, "mean crashed-node downtime in seconds (with -faults)")
+	wlJobs := flag.Int("workload", 0, "run an open multi-job workload with this many arrivals instead of one job")
+	wlRate := flag.Float64("arrival-rate", 60, "workload arrivals per hour (with -workload)")
+	wlProcess := flag.String("arrivals", "poisson", "workload arrival process: poisson, burst (with -workload)")
+	wlPolicy := flag.String("policy", "fair", "workload inter-job policy: fifo, fair (with -workload)")
 	flag.Parse()
 
 	var factory flexmap.ClusterFactory
@@ -64,10 +76,39 @@ func main() {
 	r := *reducers
 	if r == 0 {
 		r = clus.TotalSlots()
+		if *wlJobs > 0 {
+			// Concurrent jobs share the cluster: default to one reducer
+			// per node per job rather than one per slot.
+			r = clus.Size()
+		}
 	}
 	spec, err := flexmap.PUMASpec(flexmap.Benchmark(*benchName), r)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	eng0 := flexmap.Engine{Kind: flexmap.EngineKind(*engineName), SplitMB: *splitMB}
+	if *wlJobs > 0 {
+		if *inputFile != "" {
+			fatalf("-workload runs modeled inputs only; drop -input")
+		}
+		runWorkload(workloadArgs{
+			clusterName: *clusterName,
+			factory:     factory,
+			spec:        spec,
+			eng:         eng0,
+			seed:        *seed,
+			jobs:        *wlJobs,
+			rate:        *wlRate,
+			process:     *wlProcess,
+			policy:      *wlPolicy,
+			sizeBytes:   *sizeGB * flexmap.GB,
+			skew:        *skew,
+			crashRate:   *crashRate,
+			downtime:    *downtime,
+			tracePath:   *tracePath,
+		})
+		return
 	}
 
 	sc := flexmap.Scenario{
@@ -91,7 +132,7 @@ func main() {
 		sc.InputSize = 0
 		sc.InputData = data
 	}
-	eng := flexmap.Engine{Kind: flexmap.EngineKind(*engineName), SplitMB: *splitMB}
+	eng := eng0
 	res, err := flexmap.Run(sc, spec, eng)
 	if err != nil {
 		fatalf("%v", err)
@@ -196,6 +237,88 @@ func writeJSONTrace(path string, res *flexmap.RunResult) error {
 		}
 	}
 	return nil
+}
+
+// workloadArgs bundles the -workload mode's inputs.
+type workloadArgs struct {
+	clusterName string
+	factory     flexmap.ClusterFactory
+	spec        flexmap.JobSpec
+	eng         flexmap.Engine
+	seed        int64
+	jobs        int
+	rate        float64 // arrivals per hour
+	process     string
+	policy      string
+	sizeBytes   int64
+	skew        float64
+	crashRate   float64
+	downtime    float64
+	tracePath   string
+}
+
+// runWorkload runs the open multi-job mode and prints per-job outcomes
+// plus the cluster-level summary.
+func runWorkload(a workloadArgs) {
+	sc := flexmap.WorkloadScenario{
+		Name:    a.clusterName,
+		Cluster: a.factory,
+		Seed:    a.seed,
+		Pattern: flexmap.ArrivalPattern{
+			Jobs:    a.jobs,
+			Rate:    a.rate / 3600,
+			Process: flexmap.Poisson,
+		},
+		Classes: []flexmap.WorkloadClass{{
+			Name:     a.spec.Name,
+			Weight:   1,
+			MinBytes: a.sizeBytes / 2,
+			MaxBytes: a.sizeBytes,
+			Engine:   a.eng,
+			Spec:     a.spec,
+		}},
+		Policy:    a.policy,
+		SkewSigma: a.skew,
+		Faults:    flexmap.FaultPlan{CrashRate: a.crashRate, MeanDowntime: flexmap.Duration(a.downtime)},
+		Trace:     flexmap.TraceOptions{JSONLPath: a.tracePath},
+	}
+	switch a.process {
+	case "poisson":
+	case "burst":
+		sc.Pattern.Process = flexmap.Burst
+	default:
+		fatalf("unknown arrival process %q", a.process)
+	}
+
+	res, err := flexmap.RunWorkload(sc)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("workload   %d × %s on %s under %s, %s policy (seed %d)\n",
+		a.jobs, a.spec.Name, a.clusterName, a.eng, res.Policy, a.seed)
+	fmt.Printf("outcome    %d completed, %d failed, peak %d jobs in flight\n",
+		res.Completed, res.Failed, res.MaxConcurrent)
+	fmt.Printf("span       %.1fs\n", float64(res.Span))
+	fmt.Printf("goodput    %.2f MB/s\n", res.GoodputBytesPerSec/float64(flexmap.MB))
+	fmt.Printf("utilization %.3f\n", res.Utilization)
+	fmt.Printf("latency    p50 %.1fs  p95 %.1fs  p99 %.1fs\n",
+		float64(res.LatencyP50), float64(res.LatencyP95), float64(res.LatencyP99))
+	fmt.Printf("queue wait %.1fs mean\n", float64(res.MeanQueueWait))
+
+	fmt.Println("\njobs:")
+	for _, j := range res.Jobs {
+		status := "ok"
+		if j.Failed {
+			status = "FAILED " + j.FailReason
+		}
+		fmt.Printf("  %-6s %-14s %6dMB  submit=%8.1f  finish=%8.1f  latency=%7.1fs  wait=%5.1fs  %s\n",
+			j.ID, j.Engine, j.InputBytes/flexmap.MB, float64(j.Submitted), float64(j.Finished),
+			float64(j.Latency), float64(j.QueueWait), status)
+	}
+	if a.tracePath != "" {
+		fmt.Printf("\nevent trace written to %s\n", a.tracePath)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead|faults]
+//	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead|faults|workload]
 //	          [-seed N] [-scale N] [-bench WC,GR,...] [-parallel N]
 //	          [-trace-dir DIR]
 //
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, tableI, tableII, fig1, fig2, fig3, fig5, fig6, fig7, fig8, overhead, ablation, skew, faults)")
+	exp := flag.String("exp", "all", "experiment to run (all, tableI, tableII, fig1, fig2, fig3, fig5, fig6, fig7, fig8, overhead, ablation, skew, faults, workload)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	scale := flag.Int64("scale", 1, "divide paper input sizes by this factor")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (short names, e.g. WC,GR)")
@@ -167,6 +167,13 @@ func main() {
 	})
 	run("faults", func() (string, error) {
 		r, err := experiments.FaultTolerance(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("workload", func() (string, error) {
+		r, err := experiments.WorkloadFigure(cfg)
 		if err != nil {
 			return "", err
 		}

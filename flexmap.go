@@ -43,6 +43,8 @@ import (
 	"flexmap/internal/runner"
 	"flexmap/internal/sim"
 	"flexmap/internal/trace"
+	"flexmap/internal/workload"
+	"flexmap/internal/yarn"
 )
 
 // Re-exported size units.
@@ -103,7 +105,33 @@ type (
 	TraceEvent = trace.Event
 	// MetricSample is one counter or gauge in a registry snapshot.
 	MetricSample = metrics.Sample
+	// WorkloadScenario describes an open multi-job run: seeded arrivals
+	// sharing one cluster and RM under an inter-job policy.
+	WorkloadScenario = runner.WorkloadScenario
+	// WorkloadClass is one entry of a workload's job mix.
+	WorkloadClass = runner.WorkloadClass
+	// WorkloadResult aggregates a workload run (per-job outcomes plus
+	// goodput, utilization and latency percentiles).
+	WorkloadResult = runner.WorkloadResult
+	// JobOutcome is one job's result within a workload run.
+	JobOutcome = runner.JobOutcome
+	// ArrivalPattern shapes workload job arrivals (Poisson or burst).
+	ArrivalPattern = workload.Pattern
+	// SchedulerQueue is one capacity-policy queue (WorkloadScenario.Queues).
+	SchedulerQueue = yarn.Queue
 )
+
+// Workload arrival processes, re-exported.
+const (
+	Poisson = workload.Poisson
+	Burst   = workload.Burst
+)
+
+// RunWorkload executes an open multi-job workload under the scenario's
+// inter-job policy and returns per-job outcomes plus cluster metrics.
+func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
+	return runner.RunWorkload(sc)
+}
 
 // RenderTimeline renders collected trace events as a chronological text
 // timeline (heartbeats summarized per node at the end).

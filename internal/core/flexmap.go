@@ -88,7 +88,7 @@ func NewAM(d *engine.Driver, rng *randutil.Source) (*AM, error) {
 	}
 	d.Result.Engine = am.Name
 	d.ReducePlacer = am.placeReducers
-	d.RM.SetScheduler(am)
+	d.Register(am)
 	d.SetRecovery(am)
 	// A rejoining node's pre-crash speed samples are stale (cold caches,
 	// restarted daemons): reset its window so sizing starts conservative.

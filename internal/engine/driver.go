@@ -36,6 +36,20 @@ type Driver struct {
 	// ReducePlacer defaults to EvenReducePlacer.
 	ReducePlacer ReducePlacer
 
+	// RegisterScheduler, when non-nil, intercepts Register: instead of
+	// binding the AM straight to the RM (the solo-run default), the
+	// workload runner points it at the inter-job multiplexer so many
+	// jobs can share one RM. AM constructors must register through
+	// Driver.Register, never yarn.RM.SetScheduler directly.
+	RegisterScheduler func(yarn.Scheduler)
+
+	// ReduceViaRM routes the reduce phase through RM container offers
+	// instead of the solo-run shortcut of self-limiting per-node slot
+	// counts. Required under multi-job sharing, where reduce capacity
+	// must be arbitrated like any other container. Solo runs keep the
+	// default (false) and are byte-identical to previous versions.
+	ReduceViaRM bool
+
 	// Trace, when non-nil, records the run's typed event stream (see
 	// internal/trace). All emit methods are nil-safe, so the disabled
 	// state costs a branch per lifecycle transition and nothing else —
@@ -84,6 +98,17 @@ type Driver struct {
 // typically to stop heartbeat and interference tickers so the event queue
 // drains.
 func (d *Driver) OnFinished(fn func()) { d.onFinished = append(d.onFinished, fn) }
+
+// Register installs the AM as the recipient of this job's slot offers.
+// When two AMs stack (SkewTune shadowing the stock AM), the last
+// registration wins, matching SetScheduler semantics.
+func (d *Driver) Register(s yarn.Scheduler) {
+	if d.RegisterScheduler != nil {
+		d.RegisterScheduler(s)
+		return
+	}
+	d.RM.SetScheduler(s)
+}
 
 // NewDriver assembles a driver for one run. The spec must validate and
 // its input file must already exist in the store.

@@ -42,9 +42,16 @@ func (d *Driver) OnNodeRejoin(fn func(cluster.NodeID)) {
 // output, rejoins deliver crashed work and restore capacity. The watcher
 // stops with the job.
 func (d *Driver) AttachWatcher(w *yarn.NodeWatcher) {
+	d.AttachWatcherShared(w)
+	d.OnFinished(w.Stop)
+}
+
+// AttachWatcherShared wires loss/rejoin delivery without tying the
+// watcher's lifetime to this job — for workload runs where one watcher
+// serves every concurrent driver and must outlive each of them.
+func (d *Driver) AttachWatcherShared(w *yarn.NodeWatcher) {
 	w.OnLost(d.nodeLost)
 	w.OnRejoin(d.nodeRejoined)
-	d.OnFinished(w.Stop)
 }
 
 // CrashNode implements the fault injector's crash: the node goes silent
@@ -56,6 +63,17 @@ func (d *Driver) CrashNode(id cluster.NodeID) {
 		return
 	}
 	n.SetDown(true)
+	d.CrashResident(id)
+}
+
+// CrashResident kills this driver's work on a node that just went down.
+// Split from CrashNode so a multi-job fault target can flip the node
+// once and then fan the kill out to every driver — the second driver
+// would otherwise see Down() already true and skip its own victims.
+func (d *Driver) CrashResident(id cluster.NodeID) {
+	if d.finished {
+		return
+	}
 	for _, a := range d.RunningMapsOn(id) {
 		if a.kill(true) {
 			d.Result.AttemptsCrashed++

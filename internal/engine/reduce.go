@@ -6,6 +6,7 @@ import (
 	"flexmap/internal/cluster"
 	"flexmap/internal/mr"
 	"flexmap/internal/sim"
+	"flexmap/internal/yarn"
 )
 
 // EvenReducePlacer is stock Hadoop's policy: reducers dispatched evenly
@@ -60,6 +61,12 @@ func (d *Driver) beginReducePhase() {
 	if len(displaced) > 0 {
 		d.requeueReduces(displaced)
 	}
+	if d.ReduceViaRM {
+		// Reduce capacity is arbitrated by the RM like any container:
+		// nudge the offer machinery and let TryReduce take grants.
+		d.RM.Poke()
+		return
+	}
 	// Start up to Slots reducers per node; the rest run in later waves.
 	for _, n := range d.Cluster.Nodes {
 		d.pumpReduces(n)
@@ -68,24 +75,52 @@ func (d *Driver) beginReducePhase() {
 
 // pumpReduces fills the node's free reduce slots from its queue, then
 // from the orphan pool (partitions stranded when every node was down).
+// In ReduceViaRM mode capacity flows through offers instead, so pumping
+// reduces to poking the RM.
 func (d *Driver) pumpReduces(n *cluster.Node) {
+	if d.ReduceViaRM {
+		d.RM.Poke()
+		return
+	}
 	if n.Down() || d.finished {
 		return
 	}
 	for d.reduceActive[n.ID] < n.Slots {
 		if q := d.reduceQueues[n.ID]; len(q) > 0 {
 			d.reduceQueues[n.ID] = q[1:]
-			d.runReduce(q[0], n)
+			d.runReduce(q[0], n, nil)
 			continue
 		}
 		if len(d.orphanReduces) > 0 {
 			p := d.orphanReduces[0]
 			d.orphanReduces = d.orphanReduces[1:]
-			d.runReduce(p, n)
+			d.runReduce(p, n, nil)
 			continue
 		}
 		return
 	}
+}
+
+// TryReduce consumes one offered slot for a queued reduce partition —
+// the ReduceViaRM dispatch path, called by the workload runner's
+// per-job scheduler when the AM has no map work for the offer. Order
+// mirrors pumpReduces: the node's own queue first, then orphans.
+func (d *Driver) TryReduce(n *cluster.Node) bool {
+	if !d.ReduceViaRM || !d.mapsFinished || d.finished {
+		return false
+	}
+	var p int
+	if q := d.reduceQueues[n.ID]; len(q) > 0 {
+		p = q[0]
+		d.reduceQueues[n.ID] = q[1:]
+	} else if len(d.orphanReduces) > 0 {
+		p = d.orphanReduces[0]
+		d.orphanReduces = d.orphanReduces[1:]
+	} else {
+		return false
+	}
+	d.runReduce(p, n, d.RM.Acquire(n))
+	return true
 }
 
 // requeueReduces redistributes displaced reduce partitions round-robin
@@ -120,8 +155,9 @@ type reduceRun struct {
 	node      *cluster.Node
 	start     sim.Time
 	partBytes int64
-	ev        sim.Handle // pending overhead+fetch event
-	work      *Work      // compute work once fetching is done
+	ev        sim.Handle      // pending overhead+fetch event
+	work      *Work           // compute work once fetching is done
+	container *yarn.Container // held slot in ReduceViaRM mode; nil solo
 }
 
 // crash cancels the attempt when its node dies: a crashed AttemptRecord
@@ -149,6 +185,11 @@ func (rr *reduceRun) crash() {
 	d.Result.TaskRetries++
 	d.Trace.TaskKill(reduceTaskName(rr.p), rr.node.ID, true)
 	d.crashedReduces[rr.node.ID] = append(d.crashedReduces[rr.node.ID], rr.p)
+	if rr.container != nil && !rr.container.Released() {
+		// The node is down, so this frees no capacity — it only retires
+		// the container so inter-job accounting writes it off.
+		rr.container.Release()
+	}
 }
 
 // detachReduce removes the run from the node's in-flight bookkeeping.
@@ -164,8 +205,9 @@ func (d *Driver) detachReduce(rr *reduceRun) {
 }
 
 // runReduce executes one reduce attempt: overhead, shuffle fetch of the
-// remote share of its partition, then merge+reduce compute.
-func (d *Driver) runReduce(p int, n *cluster.Node) {
+// remote share of its partition, then merge+reduce compute. c is the
+// held RM container in ReduceViaRM mode (nil on the solo path).
+func (d *Driver) runReduce(p int, n *cluster.Node, c *yarn.Container) {
 	start := d.Eng.Now()
 	partBytes := d.totalInter / int64(d.Spec.NumReducers)
 	localShare := d.interByNode[n.ID] / int64(d.Spec.NumReducers)
@@ -175,12 +217,18 @@ func (d *Driver) runReduce(p int, n *cluster.Node) {
 	}
 	fetchDur := sim.Duration(float64(remote) / (d.Cluster.NetBW * float64(MB)))
 
-	rr := &reduceRun{d: d, p: p, node: n, start: start, partBytes: partBytes}
+	rr := &reduceRun{d: d, p: p, node: n, start: start, partBytes: partBytes, container: c}
 	d.reduceActive[n.ID]++
 	d.runningReduce[n.ID] = append(d.runningReduce[n.ID], rr)
 	d.Trace.ReduceDispatch(reduceTaskName(p), n.ID, partBytes)
 
 	finish := func() {
+		// Return capacity before the finished check: a job aborted by
+		// FailJob must not strand slots its reducers were holding, or a
+		// shared cluster slowly wedges.
+		if rr.container != nil && !rr.container.Released() {
+			rr.container.Release()
+		}
 		if d.finished {
 			return
 		}

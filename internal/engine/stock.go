@@ -107,7 +107,7 @@ func NewStockAM(d *Driver, splitBUs int, speculation SpeculationPolicy) (*StockA
 		am.indexSplit(p)
 	}
 	d.Result.Engine = am.Name
-	d.RM.SetScheduler(am)
+	d.Register(am)
 	d.SetRecovery(am)
 	return am, nil
 }

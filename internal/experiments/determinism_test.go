@@ -101,6 +101,13 @@ var detHarnesses = []struct {
 		}
 		return r.Render(), nil
 	}},
+	{"workload", func(cfg Config) (string, error) {
+		r, err := WorkloadFigureLoads(cfg, []float64{360, 720})
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
 }
 
 func TestSerialVsParallelDeterminism(t *testing.T) {

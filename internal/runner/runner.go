@@ -161,6 +161,54 @@ func (e *JobFailedError) Error() string {
 	return fmt.Sprintf("runner: job %q under %s failed: %s", e.Job, e.Engine, e.Reason)
 }
 
+// buildAM constructs the selected engine's ApplicationMaster over the
+// driver. flexRng seeds FlexMap's placement bias (ignored by the other
+// engines). The returned *core.AM is non-nil only for FlexMap, whose
+// size trace the caller may want.
+func buildAM(driver *engine.Driver, eng Engine, flexRng *randutil.Source) (*core.AM, error) {
+	splitBUs := 8
+	if eng.SplitMB != 0 {
+		if int64(eng.SplitMB)*MB%dfs.BUSize != 0 {
+			return nil, fmt.Errorf("runner: split size %d MB is not a multiple of the 8 MB block unit", eng.SplitMB)
+		}
+		splitBUs = int(int64(eng.SplitMB) * MB / dfs.BUSize)
+	}
+	var err error
+	var flexAM *core.AM
+	switch eng.Kind {
+	case Hadoop:
+		_, err = engine.NewStockAM(driver, splitBUs, speculate.NewLATE())
+	case HadoopNoSpec:
+		_, err = engine.NewStockAM(driver, splitBUs, nil)
+	case SkewTune:
+		_, err = skewtune.New(driver, splitBUs)
+	case FlexMap:
+		flexAM, err = core.NewAM(driver, flexRng)
+		if flexAM != nil {
+			flexAM.Speculation = speculate.NewLATE()
+			switch eng.FlexAblation {
+			case "":
+			case "no-vertical":
+				flexAM.NoVertical = true
+			case "no-horizontal":
+				flexAM.NoHorizontal = true
+			case "no-bias":
+				flexAM.NoReduceBias = true
+			case "no-spec":
+				flexAM.Speculation = nil
+			default:
+				err = fmt.Errorf("runner: unknown FlexMap ablation %q", eng.FlexAblation)
+			}
+		}
+	default:
+		err = fmt.Errorf("runner: unknown engine kind %q", eng.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return flexAM, nil
+}
+
 // Run executes one job under one engine and returns its result.
 func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 	if sc.Cluster == nil {
@@ -212,43 +260,7 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 		driver.OnFinished(interferer.Stop)
 	}
 
-	splitBUs := 8
-	if eng.SplitMB != 0 {
-		if int64(eng.SplitMB)*MB%dfs.BUSize != 0 {
-			return nil, fmt.Errorf("runner: split size %d MB is not a multiple of the 8 MB block unit", eng.SplitMB)
-		}
-		splitBUs = int(int64(eng.SplitMB) * MB / dfs.BUSize)
-	}
-
-	var flexAM *core.AM
-	switch eng.Kind {
-	case Hadoop:
-		_, err = engine.NewStockAM(driver, splitBUs, speculate.NewLATE())
-	case HadoopNoSpec:
-		_, err = engine.NewStockAM(driver, splitBUs, nil)
-	case SkewTune:
-		_, err = skewtune.New(driver, splitBUs)
-	case FlexMap:
-		flexAM, err = core.NewAM(driver, rng.Split("flexmap"))
-		if flexAM != nil {
-			flexAM.Speculation = speculate.NewLATE()
-			switch eng.FlexAblation {
-			case "":
-			case "no-vertical":
-				flexAM.NoVertical = true
-			case "no-horizontal":
-				flexAM.NoHorizontal = true
-			case "no-bias":
-				flexAM.NoReduceBias = true
-			case "no-spec":
-				flexAM.Speculation = nil
-			default:
-				err = fmt.Errorf("runner: unknown FlexMap ablation %q", eng.FlexAblation)
-			}
-		}
-	default:
-		err = fmt.Errorf("runner: unknown engine kind %q", eng.Kind)
-	}
+	flexAM, err := buildAM(driver, eng, rng.Split("flexmap"))
 	if err != nil {
 		return nil, err
 	}

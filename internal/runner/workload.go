@@ -1,0 +1,484 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/dfs"
+	"flexmap/internal/engine"
+	"flexmap/internal/faults"
+	"flexmap/internal/metrics"
+	"flexmap/internal/mr"
+	"flexmap/internal/randutil"
+	"flexmap/internal/sim"
+	"flexmap/internal/trace"
+	"flexmap/internal/workload"
+	"flexmap/internal/yarn"
+)
+
+// WorkloadClass is one entry of a workload's job mix: an arrival weight
+// and input-size range (see internal/workload), plus the engine and job
+// template every job of the class runs with.
+type WorkloadClass struct {
+	// Name labels the class in outcomes.
+	Name string
+	// Weight is the relative arrival probability.
+	Weight float64
+	// MinBytes/MaxBytes bound the per-job input-size draw.
+	MinBytes, MaxBytes int64
+	// Engine runs the class's jobs.
+	Engine Engine
+	// Spec is the job template; Name and InputFile are overridden per
+	// job ("j0042", "j0042/input").
+	Spec mr.JobSpec
+	// Queue is the class's capacity-policy queue (ignored by FIFO/fair).
+	Queue int
+}
+
+// WorkloadScenario describes an open multi-job run: one cluster, one
+// DFS namespace, one RM — many jobs arriving over virtual time and
+// competing for containers under an inter-job policy.
+type WorkloadScenario struct {
+	Name    string
+	Cluster ClusterFactory
+	Seed    int64
+
+	// Pattern shapes job arrivals (Poisson or burst).
+	Pattern workload.Pattern
+	// Classes is the job mix; at least one is required.
+	Classes []WorkloadClass
+
+	// Policy selects inter-job arbitration: "fifo" (default), "fair",
+	// or "capacity" (which requires Queues).
+	Policy string
+	// Queues configures the capacity policy; WorkloadClass.Queue
+	// indexes into it.
+	Queues []yarn.Queue
+
+	// Replication is the HDFS replication factor (default 3).
+	Replication int
+	// Cost overrides the calibrated cost model when non-zero.
+	Cost engine.CostModel
+	// NoiseSigma is per-task runtime noise (0 = DefaultNoiseSigma;
+	// negative disables).
+	NoiseSigma float64
+	// SkewSigma, when positive, applies lognormal per-BU cost weights.
+	SkewSigma float64
+	// Faults injects seeded node crashes/slowdowns/preemptions shared
+	// by every concurrent job.
+	Faults faults.Plan
+	// MaxSimTime bounds the virtual clock; default 30 days.
+	MaxSimTime sim.Time
+	// Trace selects event tracing; each job's events carry its job ID.
+	Trace trace.Options
+}
+
+// JobOutcome is one job's result within a workload run.
+type JobOutcome struct {
+	// Index is the arrival index; ID is "j<index>" (the trace label).
+	Index int
+	ID    string
+	// Class indexes WorkloadScenario.Classes.
+	Class  int
+	Engine string
+	// InputBytes is the job's drawn input size.
+	InputBytes int64
+	// Submitted/Finished are arrival and completion on the virtual
+	// clock; Latency is their difference (sojourn time).
+	Submitted sim.Time
+	Finished  sim.Time
+	Latency   sim.Duration
+	// QueueWait is submission → first container grant (-1 if never
+	// granted).
+	QueueWait sim.Duration
+	// Failed marks retry-exhaustion abort; the workload keeps going.
+	Failed     bool
+	FailReason string
+	// Result is the job's full result record.
+	Result *mr.JobResult
+	// BUCommits is the job's per-BU commit accounting (exactly-once
+	// invariant for successful jobs, crashes or not).
+	BUCommits map[dfs.BUID]int
+}
+
+// WorkloadResult aggregates a workload run.
+type WorkloadResult struct {
+	Scenario string
+	Policy   string
+	// Jobs holds per-job outcomes in arrival order.
+	Jobs []JobOutcome
+	// Completed and Failed partition the jobs.
+	Completed, Failed int
+	// MaxConcurrent is the peak number of jobs in flight at once.
+	MaxConcurrent int
+	// Span is the virtual time from workload start (t=0) to the last
+	// job completion — the makespan all rates below normalize by.
+	Span sim.Duration
+	// GoodputBytesPerSec is successfully processed input per second of
+	// span.
+	GoodputBytesPerSec float64
+	// Utilization is busy slot-seconds over available slot-seconds.
+	Utilization float64
+	// LatencyP50/P95/P99 are percentiles of successful-job sojourn
+	// times; MeanQueueWait averages submission→first-grant over jobs
+	// that got containers.
+	LatencyP50, LatencyP95, LatencyP99 sim.Duration
+	MeanQueueWait                      sim.Duration
+
+	// Cluster is the post-run cluster.
+	Cluster *cluster.Cluster
+	// Trace is the shared run tracer (nil unless enabled); events from
+	// all jobs interleave chronologically, each labeled with its job ID.
+	Trace *trace.Tracer
+	// SimEvents counts the engine's fired events for the whole
+	// workload. Per-job outcomes deliberately carry no event count: the
+	// engine is shared, so any per-job attribution would double-count.
+	SimEvents uint64
+}
+
+// jobScheduler adapts one job to inter-job offers: map work first (the
+// AM declines when it has none), then queued reduces via the RM path.
+type jobScheduler struct {
+	d  *engine.Driver
+	am yarn.Scheduler
+}
+
+func (j *jobScheduler) OnSlotFree(n *cluster.Node) bool {
+	if j.d.Finished() {
+		return false
+	}
+	if j.am != nil && j.am.OnSlotFree(n) {
+		return true
+	}
+	return j.d.TryReduce(n)
+}
+
+// multiTarget fans fault-injector actions out across every job's
+// driver. The node flips down exactly once here — Driver.CrashNode's
+// own down-check would make the second driver skip its victims.
+type multiTarget struct {
+	clus    *cluster.Cluster
+	drivers []*engine.Driver
+}
+
+func (m *multiTarget) CrashNode(id cluster.NodeID) {
+	n := m.clus.Node(id)
+	if n.Down() {
+		return
+	}
+	n.SetDown(true)
+	for _, d := range m.drivers {
+		d.CrashResident(id)
+	}
+}
+
+func (m *multiTarget) RestoreNode(id cluster.NodeID) {
+	m.clus.Node(id).SetDown(false)
+}
+
+// PreemptContainer preempts the globally youngest map attempt on the
+// node, matching the single-job policy across job boundaries. Ties on
+// start time resolve to the earliest-submitted job, then task name —
+// all deterministic.
+func (m *multiTarget) PreemptContainer(id cluster.NodeID) bool {
+	var best *engine.Driver
+	var bestStart sim.Time
+	var bestTask string
+	for _, d := range m.drivers {
+		if d.Finished() {
+			continue
+		}
+		for _, a := range d.RunningMapsOn(id) {
+			if best == nil || a.Start > bestStart || (a.Start == bestStart && a.Task > bestTask) {
+				best, bestStart, bestTask = d, a.Start, a.Task
+			}
+		}
+	}
+	if best == nil {
+		return false
+	}
+	return best.PreemptContainer(id)
+}
+
+// workloadPolicy resolves the scenario's policy selection.
+func workloadPolicy(sc WorkloadScenario) (yarn.Policy, error) {
+	switch sc.Policy {
+	case "", "fifo":
+		return yarn.FIFOPolicy{}, nil
+	case "fair":
+		return yarn.FairPolicy{}, nil
+	case "capacity":
+		return yarn.NewCapacityPolicy(sc.Queues)
+	default:
+		return nil, fmt.Errorf("runner: unknown inter-job policy %q", sc.Policy)
+	}
+}
+
+// jobID formats the canonical job label for an arrival index.
+func jobID(index int) string { return fmt.Sprintf("j%04d", index) }
+
+// RunWorkload executes an open multi-job workload: seeded arrivals
+// submit jobs over virtual time, every job shares one engine, cluster,
+// DFS and RM, and the configured policy arbitrates container grants
+// between them. Individual job failures (retry exhaustion under crash
+// injection) are outcomes, not errors; the error path is reserved for
+// configuration problems and scheduler hangs.
+func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
+	if sc.Cluster == nil {
+		return nil, fmt.Errorf("runner: workload %q has no cluster factory", sc.Name)
+	}
+	if len(sc.Classes) == 0 {
+		return nil, fmt.Errorf("runner: workload %q has no job classes", sc.Name)
+	}
+	genClasses := make([]workload.Class, len(sc.Classes))
+	for i, c := range sc.Classes {
+		genClasses[i] = workload.Class{Weight: c.Weight, MinBytes: c.MinBytes, MaxBytes: c.MaxBytes}
+		probe := c.Spec
+		probe.Name, probe.InputFile = "probe", "probe"
+		if err := probe.Validate(); err != nil {
+			return nil, fmt.Errorf("runner: workload class %d (%s): %w", i, c.Name, err)
+		}
+		if sc.Faults.Active() && c.Engine.Kind == SkewTune {
+			return nil, fmt.Errorf("runner: fault injection is not supported for %s (class %d)", c.Engine, i)
+		}
+	}
+	policy, err := workloadPolicy(sc)
+	if err != nil {
+		return nil, err
+	}
+	arrivals, err := workload.Generate(sc.Seed, sc.Pattern, genClasses)
+	if err != nil {
+		return nil, err
+	}
+
+	simEng := sim.New()
+	clus, interferer := sc.Cluster()
+	rng := randutil.New(sc.Seed)
+	store := dfs.NewStore(clus, sc.Replication, rng.Split("placement"))
+	if sc.SkewSigma > 0 {
+		store.ApplySkew(rng.Split("data-skew"), sc.SkewSigma)
+	}
+	cost := sc.Cost
+	if cost == (engine.CostModel{}) {
+		cost = engine.DefaultCostModel()
+	}
+	noiseSigma := sc.NoiseSigma
+	if noiseSigma == 0 {
+		noiseSigma = DefaultNoiseSigma
+	}
+
+	rm := yarn.NewRM(simEng, clus)
+	mux := yarn.NewInterJob(simEng, rm, policy)
+	var tracer *trace.Tracer
+	if sc.Trace.Enabled() {
+		tracer = trace.New(simEng)
+	}
+
+	var watcher *yarn.NodeWatcher
+	var injector *faults.Injector
+	target := &multiTarget{clus: clus}
+	if sc.Faults.Active() {
+		watcher = yarn.NewNodeWatcher(simEng, clus, rm)
+		watcher.Trace = tracer
+		injector = faults.NewInjector(simEng, clus,
+			sc.Faults.Schedule(rng.Split("faults").Seed(), clus.Size()), target)
+		injector.Trace = tracer
+	}
+	if interferer != nil {
+		interferer.Start(simEng)
+	}
+
+	st := &workloadState{
+		outcomes: make([]JobOutcome, len(arrivals)),
+		total:    len(arrivals),
+		stopAll: func() {
+			if interferer != nil {
+				interferer.Stop()
+			}
+			if watcher != nil {
+				watcher.Stop()
+			}
+			if injector != nil {
+				injector.Stop()
+			}
+		},
+	}
+
+	for _, a := range arrivals {
+		a := a
+		simEng.At(a.At, "job-arrival", func() {
+			if st.err != nil {
+				return
+			}
+			if err := submitJob(simEng, sc, a, clus, store, rm, mux, cost, noiseSigma, tracer, watcher, target, st); err != nil {
+				st.err = err
+				st.stopAll()
+			}
+		})
+	}
+
+	if injector != nil {
+		injector.Start()
+	}
+	rm.Start()
+	deadline := sc.MaxSimTime
+	if deadline == 0 {
+		deadline = 30 * 24 * 3600
+	}
+	simEng.RunUntil(deadline)
+	tracer.FinalizeRun()
+	if st.err != nil {
+		return nil, st.err
+	}
+	if st.done != st.total {
+		return nil, fmt.Errorf("runner: workload %q: %d of %d jobs unfinished at t=%v (scheduler hang or deadline too low)",
+			sc.Name, st.total-st.done, st.total, deadline)
+	}
+	if err := sc.Trace.Write(tracer); err != nil {
+		return nil, err
+	}
+	return summarize(sc, policy, clus, tracer, simEng, st), nil
+}
+
+// workloadState accumulates per-run progress shared by arrival events.
+type workloadState struct {
+	outcomes      []JobOutcome
+	total         int
+	done          int
+	active        int
+	maxConcurrent int
+	err           error
+	stopAll       func()
+}
+
+// submitJob materializes one arrival: per-job input file, driver, AM,
+// and registration with the inter-job scheduler.
+func submitJob(simEng *sim.Engine, sc WorkloadScenario, a workload.Arrival,
+	clus *cluster.Cluster, store *dfs.Store, rm *yarn.RM, mux *yarn.InterJob,
+	cost engine.CostModel, noiseSigma float64, tracer *trace.Tracer,
+	watcher *yarn.NodeWatcher, target *multiTarget, st *workloadState) error {
+
+	id := jobID(a.Index)
+	class := sc.Classes[a.Class]
+	if _, err := store.AddFile(id+"/input", a.InputBytes); err != nil {
+		return err
+	}
+	spec := class.Spec
+	spec.Name = id
+	spec.InputFile = id + "/input"
+	// Workload inputs are modeled (no payload bytes), so live map/reduce
+	// functions from benchmark specs would never run; drop them so the
+	// per-job result doesn't pretend otherwise.
+	spec.Mapper, spec.Reducer = nil, nil
+
+	driver, err := engine.NewDriver(simEng, clus, store, rm, cost, spec)
+	if err != nil {
+		return err
+	}
+	driver.ReduceViaRM = true
+	driver.Trace = tracer.ForJob(id)
+	jobRng := randutil.New(a.Seed)
+	driver.Noise = jobRng.Split("runtime-noise")
+	driver.NoiseSigma = noiseSigma
+
+	// Route the AM's registration to the job scheduler instead of the
+	// shared RM (which the multiplexer owns). SkewTune registers twice;
+	// last one wins, as with direct SetScheduler.
+	var am yarn.Scheduler
+	driver.RegisterScheduler = func(s yarn.Scheduler) { am = s }
+	if _, err := buildAM(driver, class.Engine, jobRng.Split("flexmap")); err != nil {
+		return err
+	}
+	driver.Result.Engine = class.Engine.String()
+	if watcher != nil {
+		driver.AttachWatcherShared(watcher)
+	}
+	target.drivers = append(target.drivers, driver)
+
+	handle := mux.Submit(id, class.Queue, &jobScheduler{d: driver, am: am})
+	st.active++
+	if st.active > st.maxConcurrent {
+		st.maxConcurrent = st.active
+	}
+	driver.OnFinished(func() {
+		mux.Retire(handle)
+		st.active--
+		st.done++
+		res := driver.Result
+		st.outcomes[a.Index] = JobOutcome{
+			Index:      a.Index,
+			ID:         id,
+			Class:      a.Class,
+			Engine:     res.Engine,
+			InputBytes: a.InputBytes,
+			Submitted:  res.Submitted,
+			Finished:   res.Finished,
+			Latency:    sim.Duration(res.Finished - res.Submitted),
+			QueueWait:  handle.QueueWait(),
+			Failed:     res.Failed,
+			FailReason: res.FailReason,
+			Result:     res,
+			BUCommits:  driver.BUCommits(),
+		}
+		if st.done == st.total {
+			st.stopAll()
+		}
+	})
+	return nil
+}
+
+// summarize computes the workload's cluster-level metrics.
+func summarize(sc WorkloadScenario, policy yarn.Policy, clus *cluster.Cluster,
+	tracer *trace.Tracer, simEng *sim.Engine, st *workloadState) *WorkloadResult {
+
+	out := &WorkloadResult{
+		Scenario:      sc.Name,
+		Policy:        policy.Name(),
+		Jobs:          st.outcomes,
+		MaxConcurrent: st.maxConcurrent,
+		Cluster:       clus,
+		Trace:         tracer,
+		SimEvents:     simEng.Fired(),
+	}
+	var span sim.Time
+	var goodBytes int64
+	var busy sim.Duration
+	var latencies []float64
+	var waitSum sim.Duration
+	waited := 0
+	for _, j := range out.Jobs {
+		if j.Finished > span {
+			span = j.Finished
+		}
+		for _, at := range j.Result.Attempts {
+			busy += sim.Duration(at.End - at.Start)
+		}
+		if j.QueueWait >= 0 {
+			waitSum += j.QueueWait
+			waited++
+		}
+		if j.Failed {
+			out.Failed++
+			continue
+		}
+		out.Completed++
+		goodBytes += j.InputBytes
+		latencies = append(latencies, float64(j.Latency))
+	}
+	out.Span = sim.Duration(span)
+	if span > 0 {
+		out.GoodputBytesPerSec = float64(goodBytes) / float64(span)
+		out.Utilization = float64(busy) / (float64(span) * float64(clus.TotalSlots()))
+	}
+	if waited > 0 {
+		out.MeanQueueWait = waitSum / sim.Duration(waited)
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		out.LatencyP50 = sim.Duration(metrics.Percentile(latencies, 0.50))
+		out.LatencyP95 = sim.Duration(metrics.Percentile(latencies, 0.95))
+		out.LatencyP99 = sim.Duration(metrics.Percentile(latencies, 0.99))
+	}
+	return out
+}

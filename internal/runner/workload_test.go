@@ -1,0 +1,331 @@
+package runner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flexmap/internal/dfs"
+	"flexmap/internal/faults"
+	"flexmap/internal/mr"
+	"flexmap/internal/trace"
+	"flexmap/internal/workload"
+	"flexmap/internal/yarn"
+)
+
+// wlSpec is a wordcount-shaped modeled job template; Name and InputFile
+// are filled per job by the workload runner.
+func wlSpec(reducers int) mr.JobSpec {
+	return mr.JobSpec{
+		Name:         "template",
+		InputFile:    "template",
+		NumReducers:  reducers,
+		MapCost:      1.0,
+		ShuffleRatio: 0.3,
+		ReduceCost:   0.5,
+	}
+}
+
+// testWorkload is the battery's canonical scenario: a mixed stock/
+// FlexMap job stream on a small cluster, sized to finish fast.
+func testWorkload(seed int64, jobs int) WorkloadScenario {
+	return WorkloadScenario{
+		Name:    "wl-test",
+		Cluster: homoFactory(8),
+		Seed:    seed,
+		Pattern: workload.Pattern{Jobs: jobs, Rate: 1.0 / 60},
+		Classes: []WorkloadClass{
+			{Name: "small-stock", Weight: 2, MinBytes: 8 * dfs.BUSize, MaxBytes: 16 * dfs.BUSize,
+				Engine: Engine{Kind: Hadoop, SplitMB: 64}, Spec: wlSpec(2)},
+			{Name: "big-flex", Weight: 1, MinBytes: 24 * dfs.BUSize, MaxBytes: 48 * dfs.BUSize,
+				Engine: Engine{Kind: FlexMap}, Spec: wlSpec(4)},
+		},
+		Policy: "fair",
+	}
+}
+
+func TestRunWorkloadCompletes(t *testing.T) {
+	res, err := RunWorkload(testWorkload(7, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 12 || res.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 12/0", res.Completed, res.Failed)
+	}
+	if res.Span <= 0 || res.GoodputBytesPerSec <= 0 || res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("degenerate cluster metrics: span=%v goodput=%v util=%v",
+			res.Span, res.GoodputBytesPerSec, res.Utilization)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP99 < res.LatencyP50 {
+		t.Fatalf("latency percentiles out of order: p50=%v p99=%v", res.LatencyP50, res.LatencyP99)
+	}
+	for i, j := range res.Jobs {
+		if j.Index != i || j.Result == nil {
+			t.Fatalf("job %d: bad outcome %+v", i, j)
+		}
+		if j.Latency <= 0 {
+			t.Fatalf("job %d: non-positive latency %v", i, j.Latency)
+		}
+		if j.QueueWait < 0 {
+			t.Fatalf("job %d: never granted a container", i)
+		}
+		// Exactly-once commit accounting per job, its own namespace.
+		for bu, n := range j.BUCommits {
+			if n != 1 {
+				t.Fatalf("job %d: BU %d committed %d times", i, bu, n)
+			}
+		}
+	}
+}
+
+// TestWorkloadPoliciesDiffer sanity-checks that policy selection reaches
+// the scheduler: FIFO and fair must produce different queue waits on a
+// contended cluster (identical seeds otherwise).
+func TestWorkloadPoliciesDiffer(t *testing.T) {
+	mk := func(policy string) *WorkloadResult {
+		sc := testWorkload(11, 10)
+		sc.Policy = policy
+		sc.Pattern.Rate = 1.0 / 5 // heavy contention
+		res, err := RunWorkload(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fifo, fair := mk("fifo"), mk("fair")
+	if fifo.MeanQueueWait == fair.MeanQueueWait && fifo.LatencyP99 == fair.LatencyP99 {
+		t.Fatal("fifo and fair produced identical contention metrics; policy not wired through")
+	}
+}
+
+func TestWorkloadCapacityPolicy(t *testing.T) {
+	sc := testWorkload(13, 10)
+	sc.Policy = "capacity"
+	sc.Queues = []yarn.Queue{
+		{Name: "small", Share: 0.5, MaxShare: 0.75},
+		{Name: "big", Share: 0.5, MaxShare: 1.0},
+	}
+	sc.Classes[1].Queue = 1
+	res, err := RunWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 10 {
+		t.Fatalf("completed=%d, want 10", res.Completed)
+	}
+}
+
+// traceBytes renders a workload's trace to canonical JSONL bytes.
+func traceBytes(t *testing.T, res *WorkloadResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, res.Trace.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWorkloadDeterministicReplay: same seed ⇒ identical outcomes and
+// byte-identical trace JSONL across repeated runs.
+func TestWorkloadDeterministicReplay(t *testing.T) {
+	run := func() (*WorkloadResult, []byte) {
+		sc := testWorkload(42, 10)
+		sc.Trace = trace.Options{Collect: true}
+		res, err := RunWorkload(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, traceBytes(t, res)
+	}
+	a, ab := run()
+	b, bb := run()
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("trace JSONL differs across identical-seed runs")
+	}
+	if a.SimEvents != b.SimEvents || a.Span != b.Span || a.MaxConcurrent != b.MaxConcurrent {
+		t.Fatalf("aggregates differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		if ja.Finished != jb.Finished || ja.Latency != jb.Latency || ja.QueueWait != jb.QueueWait {
+			t.Fatalf("job %d outcome differs across replays: %+v vs %+v", i, ja, jb)
+		}
+	}
+}
+
+// TestWorkloadSeedSensitivity: different seeds actually change the run.
+func TestWorkloadSeedSensitivity(t *testing.T) {
+	a, err := RunWorkload(testWorkload(1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkload(testWorkload(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Span == b.Span && a.SimEvents == b.SimEvents {
+		t.Fatal("seeds 1 and 2 produced identical workload runs")
+	}
+}
+
+// TestWorkloadTraceJobScoping: every task-lifecycle event in a workload
+// trace carries a job label, jobs don't bleed into each other's metric
+// namespace, and the job-prefixed counters sum to the bare aggregate —
+// the regression test for global metric names colliding across jobs.
+func TestWorkloadTraceJobScoping(t *testing.T) {
+	sc := testWorkload(5, 6)
+	sc.Trace = trace.Options{Collect: true}
+	res, err := RunWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make(map[string]bool)
+	for _, e := range res.Trace.Events() {
+		if e.Job == "" {
+			t.Fatalf("workload event without job label: kind=%s task=%s", e.Kind, e.Task)
+		}
+		jobs[e.Job] = true
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("trace covers %d jobs, want 6", len(jobs))
+	}
+	snap := res.Trace.Registry().Snapshot()
+	perJob := make(map[string]float64)
+	var bare float64
+	for _, s := range snap {
+		if !s.Counter {
+			continue
+		}
+		if s.Name == "tasks.done" {
+			bare = s.Value
+		}
+		if strings.HasSuffix(s.Name, ".tasks.done") && strings.HasPrefix(s.Name, "j") {
+			perJob[strings.TrimSuffix(s.Name, ".tasks.done")] = s.Value
+		}
+	}
+	if len(perJob) != 6 {
+		t.Fatalf("tasks.done namespaced for %d jobs, want 6", len(perJob))
+	}
+	var sum float64
+	for _, v := range perJob {
+		sum += v
+	}
+	if sum != bare || bare == 0 {
+		t.Fatalf("per-job tasks.done sum %v != cluster aggregate %v", sum, bare)
+	}
+}
+
+// TestWorkloadSimEventsNotDoubleCounted: the engine is shared, so the
+// workload result reports its event count exactly once — equal across
+// replays and strictly greater than any refire of a single job could
+// produce, while per-job outcomes carry no event count at all (the
+// field does not exist, by design; this guards the aggregate).
+func TestWorkloadSimEventsNotDoubleCounted(t *testing.T) {
+	sc := testWorkload(9, 6)
+	sc.Trace = trace.Options{Collect: true}
+	res, err := RunWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Trace.Registry().Snapshot() {
+		if s.Name == "sim.events_fired" {
+			if uint64(s.Value) != res.SimEvents {
+				t.Fatalf("registry sim.events_fired=%v != Result.SimEvents=%d", s.Value, res.SimEvents)
+			}
+			return
+		}
+	}
+	t.Fatal("sim.events_fired gauge missing")
+}
+
+// TestWorkloadFaultsGrid is the faults × workload integration test: a
+// crash-rate grid over a 20-job workload asserting exactly-once BU
+// commits per successful job, no cross-job commit leakage, and that a
+// failed job does not wedge the RM queue (all other jobs still finish).
+func TestWorkloadFaultsGrid(t *testing.T) {
+	for _, rate := range []float64{0.5, 2, 6} {
+		rate := rate
+		t.Run("", func(t *testing.T) {
+			sc := testWorkload(21, 20)
+			sc.Faults = faults.Plan{
+				CrashRate:    rate,
+				MeanDowntime: 45,
+				SlowdownRate: rate,
+				PreemptRate:  rate,
+			}
+			res, err := RunWorkload(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed+res.Failed != 20 {
+				t.Fatalf("outcomes %d+%d != 20", res.Completed, res.Failed)
+			}
+			// A failed job must not wedge the rest: everything that
+			// didn't itself fail must have finished (RunWorkload errors
+			// on unfinished jobs, so reaching here proves it) and at
+			// least one job must survive even the harshest grid cell.
+			if res.Completed == 0 {
+				t.Fatal("no job survived; grid cell degenerate")
+			}
+			seen := make(map[dfs.BUID]string)
+			for _, j := range res.Jobs {
+				if j.Failed {
+					continue
+				}
+				if len(j.BUCommits) == 0 {
+					t.Fatalf("job %s: no commit accounting", j.ID)
+				}
+				for bu, n := range j.BUCommits {
+					if n != 1 {
+						t.Fatalf("rate %v: job %s BU %d committed %d times, want exactly once",
+							rate, j.ID, bu, n)
+					}
+					// No cross-job work leakage: a BU belongs to exactly
+					// one job's input file, so two jobs committing the
+					// same BU means recovery crossed job boundaries.
+					if owner, dup := seen[bu]; dup {
+						t.Fatalf("rate %v: BU %d committed by both %s and %s", rate, bu, owner, j.ID)
+					}
+					seen[bu] = j.ID
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadValidation exercises configuration error paths.
+func TestWorkloadValidation(t *testing.T) {
+	bad := func(mut func(*WorkloadScenario)) error {
+		sc := testWorkload(1, 2)
+		mut(&sc)
+		_, err := RunWorkload(sc)
+		return err
+	}
+	if err := bad(func(sc *WorkloadScenario) { sc.Cluster = nil }); err == nil {
+		t.Error("nil cluster factory accepted")
+	}
+	if err := bad(func(sc *WorkloadScenario) { sc.Classes = nil }); err == nil {
+		t.Error("empty class list accepted")
+	}
+	if err := bad(func(sc *WorkloadScenario) { sc.Policy = "lottery" }); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := bad(func(sc *WorkloadScenario) { sc.Policy = "capacity" }); err == nil {
+		t.Error("capacity policy without queues accepted")
+	}
+	if err := bad(func(sc *WorkloadScenario) { sc.Pattern.Rate = -1 }); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := bad(func(sc *WorkloadScenario) { sc.Classes[0].Spec.MapCost = -3 }); err == nil {
+		t.Error("invalid class spec accepted")
+	}
+	if err := bad(func(sc *WorkloadScenario) {
+		sc.Faults = faults.Plan{CrashRate: 1}
+		sc.Classes[0].Engine = Engine{Kind: SkewTune, SplitMB: 64}
+	}); err == nil {
+		t.Error("SkewTune under fault injection accepted")
+	}
+	if err := bad(func(sc *WorkloadScenario) { sc.MaxSimTime = 10 }); err == nil {
+		t.Error("impossible deadline accepted (jobs can't finish)")
+	}
+}

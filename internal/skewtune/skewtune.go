@@ -55,7 +55,7 @@ func New(d *engine.Driver, splitBUs int) (*AM, error) {
 	}
 	stock.Name = fmt.Sprintf("skewtune-%dm", int64(splitBUs)*dfs.BUSize/engine.MB)
 	d.Result.Engine = stock.Name
-	d.RM.SetScheduler(am) // shadow the stock AM's registration
+	d.Register(am) // shadow the stock AM's registration (last Register wins)
 	return am, nil
 }
 

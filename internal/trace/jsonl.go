@@ -29,6 +29,11 @@ func appendEvent(b []byte, e *Event) []byte {
 	b = append(b, `,"kind":"`...)
 	b = append(b, e.Kind.String()...)
 	b = append(b, '"')
+	if e.Job != "" {
+		// Workload runs only: solo traces stay byte-identical.
+		b = append(b, `,"job":`...)
+		b = strconv.AppendQuote(b, e.Job)
+	}
 	if e.Node != NoNode {
 		b = append(b, `,"node":`...)
 		b = strconv.AppendInt(b, int64(e.Node), 10)

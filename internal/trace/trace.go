@@ -141,52 +141,97 @@ func Bool(key string, v bool) Arg {
 type Event struct {
 	At   sim.Time
 	Kind Kind
+	Job  string         // "" outside workload runs (solo traces unchanged)
 	Node cluster.NodeID // NoNode when not node-scoped
 	Task string         // "" when not task-scoped
 	Args []Arg
 }
 
-// Tracer collects a run's events and feeds the counters/gauges registry.
-// The zero value is not used; a nil *Tracer is the disabled tracer and
-// every method is safe (and free) to call on it.
-type Tracer struct {
-	eng    *sim.Engine
+// traceState is the storage shared by every job-scoped view of one run:
+// a single chronologically interleaved event stream and one registry.
+type traceState struct {
 	events []Event
 	reg    *metrics.Registry
 }
 
+// Tracer collects a run's events and feeds the counters/gauges registry.
+// The zero value is not used; a nil *Tracer is the disabled tracer and
+// every method is safe (and free) to call on it.
+//
+// A Tracer is a view over shared per-run state. Solo runs use the root
+// view (no job label). Workload runs hand each driver a ForJob view:
+// events carry the job label, and per-job counter/gauge names are
+// prefixed with it so concurrent jobs cannot collide in the registry.
+type Tracer struct {
+	eng *sim.Engine
+	job string
+	st  *traceState
+}
+
 // New returns an enabled tracer stamping events from the engine's clock.
 func New(eng *sim.Engine) *Tracer {
-	return &Tracer{eng: eng, reg: metrics.NewRegistry()}
+	return &Tracer{eng: eng, st: &traceState{reg: metrics.NewRegistry()}}
+}
+
+// ForJob returns a view that labels everything it emits with the job ID:
+// events gain a job field, counters count under both the bare name (the
+// cluster-wide aggregate) and "<job>.<name>", and gauges move entirely
+// under the job prefix — two jobs observing one node report different
+// window means, so an unprefixed gauge would be last-writer-wins noise.
+func (t *Tracer) ForJob(job string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{eng: t.eng, job: job, st: t.st}
 }
 
 // Enabled reports whether the tracer records anything (false for nil).
 func (t *Tracer) Enabled() bool { return t != nil }
 
-// Events returns the collected events in emission order.
+// Events returns the collected events in emission order — for job views,
+// still the whole run's stream.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	return t.events
+	return t.st.events
 }
 
-// Registry returns the tracer's counters/gauges registry (nil when
+// Registry returns the run's counters/gauges registry (nil when
 // disabled; metrics.Registry methods are nil-safe too).
 func (t *Tracer) Registry() *metrics.Registry {
 	if t == nil {
 		return nil
 	}
-	return t.reg
+	return t.st.reg
 }
 
 // emit appends one event stamped at the current virtual time and bumps
 // its kind counter. Callers have already nil-checked t.
 func (t *Tracer) emit(kind Kind, node cluster.NodeID, task string, args ...Arg) {
-	t.events = append(t.events, Event{
-		At: t.eng.Now(), Kind: kind, Node: node, Task: task, Args: args,
+	t.st.events = append(t.st.events, Event{
+		At: t.eng.Now(), Kind: kind, Job: t.job, Node: node, Task: task, Args: args,
 	})
-	t.reg.Inc("events."+kind.String(), 1)
+	t.inc("events."+kind.String(), 1)
+}
+
+// inc bumps a counter under the bare name and, for job views, under the
+// job-prefixed name too.
+func (t *Tracer) inc(name string, v int64) {
+	t.st.reg.Inc(name, v)
+	if t.job != "" {
+		t.st.reg.Inc(t.job+"."+name, v)
+	}
+}
+
+// set writes a gauge — job-prefixed only for job views, since gauges are
+// point-in-time observations that concurrent jobs would clobber.
+func (t *Tracer) set(name string, v float64) {
+	if t.job != "" {
+		t.st.reg.Set(t.job+"."+name, v)
+		return
+	}
+	t.st.reg.Set(name, v)
 }
 
 // SizerDecision records one Algorithm 1 sizing decision with its inputs:
@@ -222,11 +267,11 @@ func (t *Tracer) MapDispatch(task string, node cluster.NodeID, wave, bus, local 
 		Int("wave", int64(wave)), Int("bus", int64(bus)), Int("local", int64(local)),
 		Int("bytes", bytes), Int("remote_bytes", remoteBytes),
 		Bool("speculative", speculative))
-	t.reg.Inc("tasks.map_dispatched", 1)
+	t.inc("tasks.map_dispatched", 1)
 	if speculative {
-		t.reg.Inc("tasks.speculative", 1)
+		t.inc("tasks.speculative", 1)
 	}
-	t.reg.Inc("bytes.remote_read", remoteBytes)
+	t.inc("bytes.remote_read", remoteBytes)
 }
 
 // ReduceDispatch records a reduce attempt launching.
@@ -235,7 +280,7 @@ func (t *Tracer) ReduceDispatch(task string, node cluster.NodeID, partBytes int6
 		return
 	}
 	t.emit(KindReduceDispatch, node, task, Int("bytes", partBytes))
-	t.reg.Inc("tasks.reduce_dispatched", 1)
+	t.inc("tasks.reduce_dispatched", 1)
 }
 
 // TaskDone records an attempt completing successfully.
@@ -244,7 +289,7 @@ func (t *Tracer) TaskDone(task string, node cluster.NodeID, bytes int64) {
 		return
 	}
 	t.emit(KindTaskDone, node, task, Int("bytes", bytes))
-	t.reg.Inc("tasks.done", 1)
+	t.inc("tasks.done", 1)
 }
 
 // TaskKill records an attempt stopped before completion; crashed marks a
@@ -255,9 +300,9 @@ func (t *Tracer) TaskKill(task string, node cluster.NodeID, crashed bool) {
 	}
 	t.emit(KindTaskKill, node, task, Bool("crashed", crashed))
 	if crashed {
-		t.reg.Inc("tasks.crashed", 1)
+		t.inc("tasks.crashed", 1)
 	} else {
-		t.reg.Inc("tasks.killed", 1)
+		t.inc("tasks.killed", 1)
 	}
 }
 
@@ -268,7 +313,7 @@ func (t *Tracer) Commit(node cluster.NodeID, bus int, interBytes int64) {
 	}
 	t.emit(KindCommit, node, "",
 		Int("bus", int64(bus)), Int("inter_bytes", interBytes))
-	t.reg.Inc("bus.committed", int64(bus))
+	t.inc("bus.committed", int64(bus))
 }
 
 // Heartbeat records one IPS sample entering a node's speed window and
@@ -281,8 +326,8 @@ func (t *Tracer) Heartbeat(node cluster.NodeID, sampleIPS, windowIPS float64, co
 	t.emit(KindHeartbeat, node, "",
 		Float("ips", sampleIPS), Float("window_ips", windowIPS),
 		Bool("completion", completion))
-	t.reg.Set("speed.node"+pad2(int(node)), windowIPS)
-	t.reg.Inc("heartbeat.samples", 1)
+	t.set("speed.node"+pad2(int(node)), windowIPS)
+	t.inc("heartbeat.samples", 1)
 }
 
 // ReducePlace records one biased reducer placement: the partition, the
@@ -295,8 +340,8 @@ func (t *Tracer) ReducePlace(partition int, node cluster.NodeID, accept float64,
 	t.emit(KindReducePlace, node, "",
 		Int("partition", int64(partition)),
 		Float("accept", accept), Int("draws", int64(draws)), Bool("fallback", fallback))
-	t.reg.Inc("reduce.placements", 1)
-	t.reg.Inc("reduce.placement_draws", int64(draws))
+	t.inc("reduce.placements", 1)
+	t.inc("reduce.placement_draws", int64(draws))
 }
 
 // FaultInject records the injector applying one scheduled fault.
@@ -306,7 +351,7 @@ func (t *Tracer) FaultInject(kind string, node cluster.NodeID, duration sim.Dura
 	}
 	t.emit(KindFaultInject, node, "",
 		Str("fault", kind), Float("duration", float64(duration)), Float("factor", factor))
-	t.reg.Inc("faults.injected", 1)
+	t.inc("faults.injected", 1)
 }
 
 // FaultDetect records the NodeWatcher declaring a node lost.
@@ -315,7 +360,7 @@ func (t *Tracer) FaultDetect(node cluster.NodeID) {
 		return
 	}
 	t.emit(KindFaultDetect, node, "")
-	t.reg.Inc("faults.detected", 1)
+	t.inc("faults.detected", 1)
 }
 
 // FaultRecover records a down node heartbeating again; declared says
@@ -325,7 +370,7 @@ func (t *Tracer) FaultRecover(node cluster.NodeID, declared bool) {
 		return
 	}
 	t.emit(KindFaultRecover, node, "", Bool("declared", declared))
-	t.reg.Inc("faults.recovered", 1)
+	t.inc("faults.recovered", 1)
 }
 
 // FinalizeRun stamps end-of-run engine gauges (events fired, final
@@ -335,8 +380,8 @@ func (t *Tracer) FinalizeRun() {
 	if t == nil {
 		return
 	}
-	t.reg.Set("sim.events_fired", float64(t.eng.Fired()))
-	t.reg.Set("sim.final_time", float64(t.eng.Now()))
+	t.st.reg.Set("sim.events_fired", float64(t.eng.Fired()))
+	t.st.reg.Set("sim.final_time", float64(t.eng.Now()))
 }
 
 // pad2 zero-pads small non-negative ints to two digits so gauge names

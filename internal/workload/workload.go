@@ -1,0 +1,223 @@
+// Package workload generates open-arrival multi-job workloads for the
+// cluster-level experiments: seeded Poisson or bursty job arrival
+// sequences with per-job input sizes drawn from a weighted class mix.
+//
+// Everything is a pure function of (seed, pattern, classes). The
+// arrival-time stream comes from one Split of the seed; each job's own
+// randomness (class pick, input size, and the per-job seed handed to the
+// runner) derives from randutil.DeriveSeed(seed, index), so job i sees
+// the same stream no matter how many jobs precede it, how the batch is
+// parallelized, or in which order jobs complete — the replayability
+// contract every determinism test in this repository leans on.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"flexmap/internal/randutil"
+	"flexmap/internal/sim"
+)
+
+// Process selects the arrival process shape.
+type Process string
+
+const (
+	// Poisson is a homogeneous Poisson process: exponential
+	// interarrivals at the configured mean rate.
+	Poisson Process = "poisson"
+	// Burst is a piecewise-constant-rate Poisson process alternating
+	// between an on-phase at BurstFactor × the mean rate and a quiet
+	// off-phase, with the off-rate solved so the long-run mean still
+	// matches Rate. The alternation is exact (memoryless restart at
+	// phase boundaries), not an approximation.
+	Burst Process = "burst"
+)
+
+// Pattern parameterizes an arrival sequence.
+type Pattern struct {
+	// Jobs is the number of arrivals to generate.
+	Jobs int
+	// Rate is the long-run mean arrival rate in jobs per second.
+	Rate float64
+	// Process defaults to Poisson.
+	Process Process
+
+	// BurstFactor is the on-phase rate multiplier (Burst only;
+	// default 4). The off-phase rate is Rate·(1−Duty·Factor)/(1−Duty),
+	// which requires Duty·Factor ≤ 1.
+	BurstFactor float64
+	// BurstDuty is the fraction of each cycle spent in the on-phase
+	// (Burst only; default 0.2, must lie in (0,1)).
+	BurstDuty float64
+	// BurstPeriod is the on+off cycle length in seconds (Burst only;
+	// default 600).
+	BurstPeriod sim.Duration
+}
+
+// withDefaults fills zero burst fields.
+func (p Pattern) withDefaults() Pattern {
+	if p.Process == "" {
+		p.Process = Poisson
+	}
+	if p.BurstFactor == 0 {
+		p.BurstFactor = 4
+	}
+	if p.BurstDuty == 0 {
+		p.BurstDuty = 0.2
+	}
+	if p.BurstPeriod == 0 {
+		p.BurstPeriod = 600
+	}
+	return p
+}
+
+// validate rejects degenerate patterns.
+func (p Pattern) validate() error {
+	if p.Jobs <= 0 {
+		return fmt.Errorf("workload: pattern needs Jobs > 0, got %d", p.Jobs)
+	}
+	if p.Rate <= 0 || math.IsInf(p.Rate, 0) || math.IsNaN(p.Rate) {
+		return fmt.Errorf("workload: pattern needs a positive finite Rate, got %v", p.Rate)
+	}
+	switch p.Process {
+	case Poisson:
+	case Burst:
+		if p.BurstFactor < 1 {
+			return fmt.Errorf("workload: BurstFactor must be ≥ 1, got %v", p.BurstFactor)
+		}
+		if p.BurstDuty <= 0 || p.BurstDuty >= 1 {
+			return fmt.Errorf("workload: BurstDuty must lie in (0,1), got %v", p.BurstDuty)
+		}
+		if p.BurstFactor*p.BurstDuty > 1 {
+			return fmt.Errorf("workload: BurstFactor×BurstDuty = %v exceeds 1 (off-phase rate would be negative)",
+				p.BurstFactor*p.BurstDuty)
+		}
+		if p.BurstPeriod <= 0 {
+			return fmt.Errorf("workload: BurstPeriod must be positive, got %v", p.BurstPeriod)
+		}
+	default:
+		return fmt.Errorf("workload: unknown process %q", p.Process)
+	}
+	return nil
+}
+
+// Class is one entry of the job mix: a selection weight and an input-size
+// range. The runner layers engine/spec parameters on top; this package
+// only needs what arrival generation draws.
+type Class struct {
+	// Weight is the relative selection probability (must be positive).
+	Weight float64
+	// MinBytes and MaxBytes bound the uniform input-size draw.
+	MinBytes, MaxBytes int64
+}
+
+// Arrival is one generated job arrival.
+type Arrival struct {
+	// Index is the job's position in the sequence (0-based).
+	Index int
+	// At is the submission time on the virtual clock.
+	At sim.Time
+	// Class indexes the classes slice passed to Generate.
+	Class int
+	// InputBytes is the job's drawn input size.
+	InputBytes int64
+	// Seed is the job's private seed (DeriveSeed(seed, Index)) — the
+	// runner builds all per-job randomness (noise, FlexMap's reduce
+	// bias) from it.
+	Seed int64
+}
+
+// Generate produces the arrival sequence for (seed, pattern, classes).
+// Arrival times are non-decreasing; the whole sequence is a pure function
+// of its inputs (regenerating yields identical values).
+func Generate(seed int64, p Pattern, classes []Class) ([]Arrival, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("workload: no job classes")
+	}
+	var totalW float64
+	for i, c := range classes {
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("workload: class %d has non-positive weight %v", i, c.Weight)
+		}
+		if c.MinBytes <= 0 || c.MaxBytes < c.MinBytes {
+			return nil, fmt.Errorf("workload: class %d has invalid size range [%d, %d]", i, c.MinBytes, c.MaxBytes)
+		}
+		totalW += c.Weight
+	}
+
+	times := randutil.New(seed).Split("arrivals")
+	out := make([]Arrival, p.Jobs)
+	var t float64
+	for i := range out {
+		t = nextArrival(t, p, times)
+		jr := randutil.New(randutil.DeriveSeed(seed, i))
+		ci := pickClass(jr.Split("class").Float64()*totalW, classes)
+		c := classes[ci]
+		size := c.MinBytes
+		if span := c.MaxBytes - c.MinBytes; span > 0 {
+			size += jr.Split("size").Int63n(span + 1)
+		}
+		out[i] = Arrival{
+			Index:      i,
+			At:         sim.Time(t),
+			Class:      ci,
+			InputBytes: size,
+			Seed:       randutil.DeriveSeed(seed, i),
+		}
+	}
+	return out, nil
+}
+
+// nextArrival advances the arrival clock by one interarrival draw.
+func nextArrival(t float64, p Pattern, src *randutil.Source) float64 {
+	if p.Process == Poisson {
+		return t + src.ExpFloat64()/p.Rate
+	}
+	// Burst: a non-homogeneous Poisson process with a piecewise-constant
+	// rate is simulated exactly by drawing one unit-rate exponential
+	// "work" amount and integrating the rate curve until it is spent —
+	// the memoryless property makes restarting at each phase boundary
+	// exact, not approximate.
+	w := src.ExpFloat64()
+	hi := p.Rate * p.BurstFactor
+	lo := p.Rate * (1 - p.BurstDuty*p.BurstFactor) / (1 - p.BurstDuty)
+	period := float64(p.BurstPeriod)
+	onLen := p.BurstDuty * period
+	for {
+		phase := math.Mod(t, period)
+		var rate, phaseEnd float64
+		if phase < onLen {
+			rate, phaseEnd = hi, onLen
+		} else {
+			rate, phaseEnd = lo, period
+		}
+		span := phaseEnd - phase
+		if rate <= 0 {
+			// Degenerate duty·factor = 1: the off-phase is silent, skip it.
+			t += span
+			continue
+		}
+		if spent := rate * span; w > spent {
+			w -= spent
+			t += span
+			continue
+		}
+		return t + w/rate
+	}
+}
+
+// pickClass maps a draw in [0, ΣWeight) onto a class index.
+func pickClass(draw float64, classes []Class) int {
+	for i, c := range classes {
+		if draw < c.Weight {
+			return i
+		}
+		draw -= c.Weight
+	}
+	return len(classes) - 1
+}

@@ -1,0 +1,300 @@
+package yarn
+
+import (
+	"fmt"
+	"sort"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/sim"
+)
+
+// InterJob multiplexes one ResourceManager across many concurrently
+// running jobs. It registers itself as the RM's scheduler; on every slot
+// offer it asks its Policy to rank the active jobs and consults each
+// job's own ApplicationMaster in that order until one places work. Grant
+// and release observers keep per-job running-container counts, which is
+// the usage signal the fair and capacity policies rank by.
+//
+// Determinism: job ranking is a pure function of (policy, submission
+// order, running counts), offers arrive in the RM's deterministic
+// per-node order, and the observers do no RNG draws and schedule no
+// events — so a multi-job run is as replayable as a solo one.
+type InterJob struct {
+	eng    *sim.Engine
+	rm     *RM
+	policy Policy
+
+	jobs    []*JobHandle
+	owners  map[int]ownerEntry // container ID → owning job while live
+	current *JobHandle         // job being consulted for the in-flight offer
+}
+
+// ownerEntry remembers which job owns a container and where it runs, so
+// node loss can write off containers that died without a Release.
+type ownerEntry struct {
+	job  *JobHandle
+	node cluster.NodeID
+}
+
+// JobHandle is one job's registration with the inter-job scheduler.
+type JobHandle struct {
+	// Index is the submission order (0-based); FIFO rank and every
+	// policy's tie-break.
+	Index int
+	// Name labels the job in panics and metrics.
+	Name string
+	// Queue indexes the capacity policy's queue config; FIFO and fair
+	// ignore it.
+	Queue int
+
+	sched      Scheduler
+	running    int
+	done       bool
+	submitted  sim.Time
+	firstGrant sim.Time
+	granted    bool
+}
+
+// Running returns the job's current granted-container count.
+func (h *JobHandle) Running() int { return h.running }
+
+// Done reports whether the job has been retired from scheduling.
+func (h *JobHandle) Done() bool { return h.done }
+
+// QueueWait returns the delay from submission to the job's first
+// container grant, or -1 if it never received one.
+func (h *JobHandle) QueueWait() sim.Duration {
+	if !h.granted {
+		return -1
+	}
+	return sim.Duration(h.firstGrant - h.submitted)
+}
+
+// NewInterJob wires the multiplexer into the RM as its scheduler and
+// grant/release/liveness observer. Call before rm.Start.
+func NewInterJob(eng *sim.Engine, rm *RM, p Policy) *InterJob {
+	ij := &InterJob{eng: eng, rm: rm, policy: p, owners: make(map[int]ownerEntry)}
+	rm.SetScheduler(ij)
+	rm.OnGrant(ij.onGrant)
+	rm.OnRelease(ij.onRelease)
+	rm.OnNodeLost(ij.purgeNode)
+	rm.OnNodeRestored(ij.purgeNode)
+	return ij
+}
+
+// Submit registers a job's scheduler under the given queue and pokes the
+// RM so idle capacity is offered to it immediately.
+func (ij *InterJob) Submit(name string, queue int, s Scheduler) *JobHandle {
+	h := &JobHandle{
+		Index:     len(ij.jobs),
+		Name:      name,
+		Queue:     queue,
+		sched:     s,
+		submitted: ij.eng.Now(),
+	}
+	ij.jobs = append(ij.jobs, h)
+	ij.rm.Poke()
+	return h
+}
+
+// Retire removes a finished job from scheduling: its scheduler is no
+// longer consulted for offers. Containers it still holds drain through
+// the normal release path (or die with their nodes), so a failed job
+// cannot wedge the queue. Retiring twice is a no-op.
+func (ij *InterJob) Retire(h *JobHandle) { h.done = true }
+
+// Jobs returns all submitted handles in submission order.
+func (ij *InterJob) Jobs() []*JobHandle { return ij.jobs }
+
+// OnSlotFree implements Scheduler: one offer, consulted across jobs in
+// policy order until someone takes the slot.
+func (ij *InterJob) OnSlotFree(n *cluster.Node) bool {
+	active := ij.active()
+	if len(active) == 0 {
+		return false
+	}
+	for _, h := range ij.policy.Order(active, ij.rm.TotalSlots()) {
+		ij.current = h
+		placed := h.sched.OnSlotFree(n)
+		ij.current = nil
+		if placed {
+			return true
+		}
+	}
+	return false
+}
+
+// active returns the undone jobs in submission order.
+func (ij *InterJob) active() []*JobHandle {
+	out := make([]*JobHandle, 0, len(ij.jobs))
+	for _, h := range ij.jobs {
+		if !h.done {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// onGrant attributes a fresh container to the job whose scheduler is
+// being consulted. A grant with no consultation in flight means some
+// code path acquired capacity outside the offer protocol — a bug the
+// multi-job invariants cannot survive, so it panics.
+func (ij *InterJob) onGrant(c *Container) {
+	if ij.current == nil {
+		panic(fmt.Sprintf("yarn: container %d acquired outside a slot offer", c.ID))
+	}
+	ij.owners[c.ID] = ownerEntry{job: ij.current, node: c.Node.ID}
+	ij.current.running++
+	if !ij.current.granted {
+		ij.current.granted = true
+		ij.current.firstGrant = ij.eng.Now()
+	}
+}
+
+// onRelease retires a container from its owner's count. Containers
+// already written off by node loss are unknown here; that is fine.
+func (ij *InterJob) onRelease(c *Container) {
+	if e, ok := ij.owners[c.ID]; ok {
+		e.job.running--
+		delete(ij.owners, c.ID)
+	}
+}
+
+// purgeNode writes off every live container on a node. Runs on both
+// NodeLost and NodeRestored: crashed containers are abandoned without a
+// Release, and a brief outage can restore a node that was never declared
+// lost. The double call is idempotent.
+func (ij *InterJob) purgeNode(id cluster.NodeID) {
+	for cid, e := range ij.owners {
+		if e.node == id {
+			e.job.running--
+			delete(ij.owners, cid)
+		}
+	}
+}
+
+// Policy ranks active jobs for one slot offer. Implementations must be
+// pure functions of their inputs: same jobs, same counts, same order.
+type Policy interface {
+	// Name labels the policy in scenario configs and docs.
+	Name() string
+	// Order returns the jobs to consult, highest priority first. Jobs
+	// may be omitted to exclude them from this offer entirely (e.g. a
+	// capacity queue at its cap). The input slice is in submission
+	// order and must not be retained.
+	Order(active []*JobHandle, totalSlots int) []*JobHandle
+}
+
+// FIFOPolicy offers every slot to the earliest-submitted job first; a
+// later job runs only on capacity every earlier job declined, exactly
+// Hadoop's FIFO scheduler.
+type FIFOPolicy struct{}
+
+// Name implements Policy.
+func (FIFOPolicy) Name() string { return "fifo" }
+
+// Order implements Policy: submission order, unchanged.
+func (FIFOPolicy) Order(active []*JobHandle, _ int) []*JobHandle { return active }
+
+// FairPolicy offers each slot to the job holding the fewest containers,
+// ties broken by submission order — so backlogged jobs converge to equal
+// running-container counts (max-min fairness at container granularity).
+type FairPolicy struct{}
+
+// Name implements Policy.
+func (FairPolicy) Name() string { return "fair" }
+
+// Order implements Policy.
+func (FairPolicy) Order(active []*JobHandle, _ int) []*JobHandle {
+	out := append([]*JobHandle(nil), active...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].running < out[j].running })
+	return out
+}
+
+// Queue is one capacity-scheduler queue: a guaranteed share of the
+// cluster and a hard cap. With every queue backlogged, each receives its
+// Share; when a queue idles, others elastically borrow its capacity up
+// to their MaxShare.
+type Queue struct {
+	// Name labels the queue.
+	Name string
+	// Share is the queue's guaranteed capacity fraction. Shares should
+	// sum to ≤ 1.
+	Share float64
+	// MaxShare caps the queue's usage as a fraction of total slots;
+	// 0 means uncapped (1.0).
+	MaxShare float64
+}
+
+// CapacityPolicy implements YARN's CapacityScheduler shape: jobs are
+// grouped into queues, the most underserved queue (usage relative to its
+// guaranteed share) is offered capacity first, and a queue at its
+// MaxShare cap is skipped outright. Within a queue, jobs run FIFO.
+type CapacityPolicy struct {
+	Queues []Queue
+}
+
+// NewCapacityPolicy validates the queue config.
+func NewCapacityPolicy(queues []Queue) (*CapacityPolicy, error) {
+	if len(queues) == 0 {
+		return nil, fmt.Errorf("yarn: capacity policy needs at least one queue")
+	}
+	total := 0.0
+	for i, q := range queues {
+		if q.Share <= 0 {
+			return nil, fmt.Errorf("yarn: queue %d (%s) needs a positive Share", i, q.Name)
+		}
+		if q.MaxShare != 0 && q.MaxShare < q.Share {
+			return nil, fmt.Errorf("yarn: queue %d (%s) has MaxShare %v below Share %v", i, q.Name, q.MaxShare, q.Share)
+		}
+		total += q.Share
+	}
+	if total > 1+1e-9 {
+		return nil, fmt.Errorf("yarn: queue shares sum to %v > 1", total)
+	}
+	return &CapacityPolicy{Queues: queues}, nil
+}
+
+// Name implements Policy.
+func (*CapacityPolicy) Name() string { return "capacity" }
+
+// Cap returns a queue's hard container cap for the given cluster size.
+func (p *CapacityPolicy) Cap(queue, totalSlots int) int {
+	max := p.Queues[queue].MaxShare
+	if max == 0 {
+		max = 1
+	}
+	return int(max * float64(totalSlots))
+}
+
+// Order implements Policy: underserved queues first, FIFO within each,
+// capped queues excluded.
+func (p *CapacityPolicy) Order(active []*JobHandle, totalSlots int) []*JobHandle {
+	usage := make([]int, len(p.Queues))
+	for _, h := range active {
+		if h.Queue < 0 || h.Queue >= len(p.Queues) {
+			panic(fmt.Sprintf("yarn: job %q in unknown queue %d", h.Name, h.Queue))
+		}
+		usage[h.Queue] += h.running
+	}
+	order := make([]int, len(p.Queues))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		qa, qb := order[a], order[b]
+		return float64(usage[qa])/p.Queues[qa].Share < float64(usage[qb])/p.Queues[qb].Share
+	})
+	out := make([]*JobHandle, 0, len(active))
+	for _, q := range order {
+		if usage[q] >= p.Cap(q, totalSlots) {
+			continue
+		}
+		for _, h := range active {
+			if h.Queue == q {
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}

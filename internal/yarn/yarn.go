@@ -44,6 +44,11 @@ type RM struct {
 	granted        map[cluster.NodeID]bool
 	nextCID        int
 	started        bool
+
+	onGrant        []func(*Container)
+	onRelease      []func(*Container)
+	onNodeLost     []func(cluster.NodeID)
+	onNodeRestored []func(cluster.NodeID)
 }
 
 // NewRM creates a ResourceManager over the cluster with all slots free.
@@ -66,6 +71,30 @@ func NewRM(eng *sim.Engine, c *cluster.Cluster) *RM {
 // SetScheduler registers the ApplicationMaster. Must be called before
 // Start.
 func (rm *RM) SetScheduler(s Scheduler) { rm.sched = s }
+
+// OnGrant registers an observer fired whenever Acquire hands out a
+// container. The inter-job multiplexer uses it to attribute grants to
+// the job whose scheduler accepted the offer.
+func (rm *RM) OnGrant(fn func(*Container)) { rm.onGrant = append(rm.onGrant, fn) }
+
+// OnRelease registers an observer fired whenever a container is
+// released — including a release on a down node, which frees no
+// capacity but still retires the container.
+func (rm *RM) OnRelease(fn func(*Container)) { rm.onRelease = append(rm.onRelease, fn) }
+
+// OnNodeLost registers an observer fired when a node's capacity is
+// withdrawn by NodeLost. Containers on the node died without a Release,
+// so accounting layers must write them off here.
+func (rm *RM) OnNodeLost(fn func(cluster.NodeID)) { rm.onNodeLost = append(rm.onNodeLost, fn) }
+
+// OnNodeRestored registers an observer fired when NodeRestored
+// re-registers a node's capacity.
+func (rm *RM) OnNodeRestored(fn func(cluster.NodeID)) {
+	rm.onNodeRestored = append(rm.onNodeRestored, fn)
+}
+
+// TotalSlots returns the cluster's total container slots (free or not).
+func (rm *RM) TotalSlots() int { return rm.cluster.TotalSlots() }
 
 // Start begins offering capacity: one immediate offer per node, with
 // subsequent grants paced by AssignDelay. It panics if no scheduler is
@@ -141,6 +170,9 @@ func (rm *RM) scheduleOffer(id cluster.NodeID, delay sim.Duration) {
 // abandoned (Release on a down node is a no-op).
 func (rm *RM) NodeLost(id cluster.NodeID) {
 	rm.free[id] = 0
+	for _, fn := range rm.onNodeLost {
+		fn(id)
+	}
 }
 
 // NodeRestored re-registers a node after a crash: every slot is free
@@ -148,6 +180,9 @@ func (rm *RM) NodeLost(id cluster.NodeID) {
 // next heartbeat.
 func (rm *RM) NodeRestored(id cluster.NodeID) {
 	rm.free[id] = rm.cluster.Node(id).Slots
+	for _, fn := range rm.onNodeRestored {
+		fn(id)
+	}
 	if rm.started {
 		rm.scheduleOffer(id, rm.AssignDelay)
 	}
@@ -165,7 +200,11 @@ func (rm *RM) Acquire(n *cluster.Node) *Container {
 	rm.lastGrant[n.ID] = rm.eng.Now()
 	rm.granted[n.ID] = true
 	rm.nextCID++
-	return &Container{ID: rm.nextCID, Node: n, rm: rm}
+	c := &Container{ID: rm.nextCID, Node: n, rm: rm}
+	for _, fn := range rm.onGrant {
+		fn(c)
+	}
+	return c
 }
 
 // Container is a granted slot on a node.
@@ -186,6 +225,9 @@ func (c *Container) Release() {
 		panic(fmt.Sprintf("yarn: container %d released twice", c.ID))
 	}
 	c.released = true
+	for _, fn := range c.rm.onRelease {
+		fn(c)
+	}
 	if c.Node.Down() {
 		return
 	}
