@@ -5,16 +5,29 @@
 //
 // Usage:
 //
-//	flexvet [-json] [-run detrand,seedflow,rangemap,lockheld] [packages]
+//	flexvet [flags] [packages]
 //	flexvet -list
+//
+// Flags:
+//
+//	-json                  emit diagnostics (and -facts output) as JSON
+//	-run  a,b              run only the named analyzers
+//	-skip a,b              run all but the named analyzers
+//	-fix                   render suggested fixes as minus/plus diffs
+//	-facts                 print the cross-package facts the run exported
+//	-baseline FILE         filter findings accepted in FILE before
+//	                       deciding the exit status
+//	-write-baseline FILE   write the current findings to FILE and exit 0
 //
 // Packages default to ./... and may be directories or /... patterns;
 // test files are not analyzed (the determinism suite itself exercises
 // them at runtime). Run it from inside the module — CI runs:
 //
-//	go run ./cmd/flexvet ./...
+//	go run ./cmd/flexvet -baseline flexvet.baseline.json ./...
 //
-// Exit status: 0 clean, 1 findings, 2 load or type-check errors.
+// Exit status is uniform across text and JSON modes: 0 clean, 1
+// findings (after baseline filtering), 2 usage, load or type-check
+// errors.
 //
 // Findings are suppressed per-analyzer by a trailing (or directly
 // preceding) comment: //flexvet:ignore <analyzer>.
@@ -24,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,76 +46,175 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	run := flag.String("run", "", "comma-separated analyzer subset (default: all)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI behind a testable seam: it returns the process
+// exit code instead of calling os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flexvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	runSel := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	skipSel := fs.String("skip", "", "comma-separated analyzers to disable")
+	fix := fs.Bool("fix", false, "render suggested fixes as diffs (text mode)")
+	facts := fs.Bool("facts", false, "print the facts the run exported")
+	baselinePath := fs.String("baseline", "", "filter findings accepted in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "write current findings as a baseline file and exit 0")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	errorf := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "flexvet: "+format+"\n", a...)
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	analyzers := analysis.All()
-	if *run != "" {
-		var err error
-		analyzers, err = analysis.ByName(strings.Split(*run, ","))
-		if err != nil {
-			fatalf("%v", err)
-		}
+	analyzers, err := selectAnalyzers(*runSel, *skipSel)
+	if err != nil {
+		return errorf("%v", err)
 	}
 
 	loader, err := analysis.NewLoader()
 	if err != nil {
-		fatalf("%v", err)
+		return errorf("%v", err)
 	}
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fatalf("%v", err)
+		return errorf("%v", err)
 	}
 
 	loadErrors := 0
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			fmt.Fprintf(os.Stderr, "flexvet: %s: %v\n", pkg.Path, terr)
+			fmt.Fprintf(stderr, "flexvet: %s: %v\n", pkg.Path, terr)
 			loadErrors++
 		}
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
+	diags, store := analysis.RunFacts(pkgs, analyzers)
 	for i := range diags {
 		diags[i].File = relPath(diags[i].File)
+		if diags[i].Fix != nil {
+			for j := range diags[i].Fix.Edits {
+				diags[i].Fix.Edits[j].File = relPath(diags[i].Fix.Edits[j].File)
+			}
+		}
+	}
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			return errorf("%v", err)
+		}
+		werr := analysis.NewBaseline(diags).Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return errorf("writing baseline: %v", werr)
+		}
+		fmt.Fprintf(stderr, "flexvet: wrote %d baseline finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	var suppressed []analysis.Diagnostic
+	if *baselinePath != "" {
+		baseline, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			return errorf("%v", err)
+		}
+		diags, suppressed = baseline.Filter(diags)
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
+		out := struct {
 			Diagnostics []analysis.Diagnostic `json:"diagnostics"`
-		}{Diagnostics: diags}); err != nil {
-			fatalf("%v", err)
+			Suppressed  int                   `json:"suppressed,omitempty"`
+			Facts       []analysis.Fact       `json:"facts,omitempty"`
+		}{Diagnostics: diags, Suppressed: len(suppressed)}
+		if out.Diagnostics == nil {
+			out.Diagnostics = []analysis.Diagnostic{}
+		}
+		if *facts {
+			out.Facts = store.All()
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return errorf("%v", err)
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
+			if *fix {
+				rendered, err := analysis.RenderFix(d)
+				if err != nil {
+					fmt.Fprintf(stderr, "flexvet: rendering fix: %v\n", err)
+				} else if rendered != "" {
+					fmt.Fprint(stdout, rendered)
+				}
+			}
+		}
+		if *facts {
+			for _, f := range store.All() {
+				fmt.Fprintf(stdout, "fact: %s %s=%q (%s)\n", f.Key, f.Name, f.Detail, f.Analyzer)
+			}
 		}
 	}
 
 	switch {
 	case loadErrors > 0:
-		os.Exit(2)
+		return 2
 	case len(diags) > 0:
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "flexvet: %d finding(s)\n", len(diags))
+			fmt.Fprintf(stderr, "flexvet: %d finding(s)\n", len(diags))
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// selectAnalyzers resolves -run and -skip to the analyzer set.
+func selectAnalyzers(runSel, skipSel string) ([]*analysis.Analyzer, error) {
+	analyzers := analysis.All()
+	if runSel != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(runSel, ","))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if skipSel != "" {
+		names := strings.Split(skipSel, ",")
+		// Validate the names even though we only subtract them.
+		if _, err := analysis.ByName(names); err != nil {
+			return nil, err
+		}
+		skip := map[string]bool{}
+		for _, n := range names {
+			skip[n] = true
+		}
+		kept := analyzers[:0]
+		for _, a := range analyzers {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	return analyzers, nil
 }
 
 // relPath shortens a filename to be relative to the working directory
@@ -116,9 +229,4 @@ func relPath(path string) string {
 		return path
 	}
 	return rel
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "flexvet: "+format+"\n", args...)
-	os.Exit(2)
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flexmap/internal/analysis"
+)
+
+// The test working directory is cmd/flexvet, inside the module, so
+// NewLoader resolves go.mod two levels up and relative patterns work.
+
+const (
+	cleanPkg = "../../internal/maputil"
+	dirtyPkg = "../../internal/analysis/testdata/src/rangemap"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestExitCleanIsZero(t *testing.T) {
+	for _, mode := range [][]string{
+		{"-run", "rangemap", cleanPkg},
+		{"-json", "-run", "rangemap", cleanPkg},
+	} {
+		code, _, stderr := runCLI(t, mode...)
+		if code != 0 {
+			t.Errorf("run(%v) = %d, want 0; stderr: %s", mode, code, stderr)
+		}
+	}
+}
+
+func TestExitFindingsIsOneInBothModes(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-run", "rangemap", dirtyPkg)
+	if code != 1 {
+		t.Fatalf("text mode exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "rangemap") {
+		t.Errorf("text output missing analyzer name:\n%s", stdout)
+	}
+
+	code, stdout, _ = runCLI(t, "-json", "-run", "rangemap", dirtyPkg)
+	if code != 1 {
+		t.Fatalf("json mode exit = %d, want 1 (exit codes must be uniform across modes)", code)
+	}
+	var payload struct {
+		Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &payload); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, stdout)
+	}
+	if len(payload.Diagnostics) == 0 {
+		t.Error("json output has no diagnostics despite exit 1")
+	}
+}
+
+func TestExitErrorIsTwo(t *testing.T) {
+	cases := [][]string{
+		{"./does-not-exist"},
+		{"-run", "nosuchanalyzer", cleanPkg},
+		{"-skip", "nosuchanalyzer", cleanPkg},
+		{"-baseline", "does-not-exist.json", cleanPkg},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestSkipDisablesAnalyzer(t *testing.T) {
+	code, _, _ := runCLI(t, "-run", "rangemap", "-skip", "rangemap", dirtyPkg)
+	if code != 0 {
+		t.Errorf("skipping the only findings-producing analyzer: exit = %d, want 0", code)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	code, _, stderr := runCLI(t, "-run", "rangemap", "-write-baseline", path, dirtyPkg)
+	if code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	code, _, _ = runCLI(t, "-run", "rangemap", "-baseline", path, dirtyPkg)
+	if code != 0 {
+		t.Errorf("findings covered by their own baseline: exit = %d, want 0", code)
+	}
+	// An empty baseline (written from a clean package) suppresses nothing.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if code, _, _ := runCLI(t, "-run", "rangemap", "-write-baseline", empty, cleanPkg); code != 0 {
+		t.Fatalf("writing empty baseline: exit = %d, want 0", code)
+	}
+	code, _, _ = runCLI(t, "-run", "rangemap", "-baseline", empty, dirtyPkg)
+	if code != 1 {
+		t.Errorf("empty baseline suppressed findings: exit = %d, want 1", code)
+	}
+}
+
+func TestFixRendersDiffs(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-fix", "-run", "rangemap", dirtyPkg)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, "fix:") || !strings.Contains(stdout, "maputil.SortedKeys(") {
+		t.Errorf("-fix output missing rendered diff:\n%s", stdout)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exit = %d, want 0", code)
+	}
+	for _, name := range []string{"detrand", "seedflow", "rangemap", "lockheld",
+		"traceemit", "handlesafe", "goroexit", "floatorder", "timescope"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing analyzer %s", name)
+		}
+	}
+}

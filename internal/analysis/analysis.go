@@ -20,14 +20,15 @@ import (
 	"sort"
 )
 
-// Diagnostic is one finding: an analyzer name, a source position, and a
-// human-readable message.
+// Diagnostic is one finding: an analyzer name, a source position, a
+// human-readable message, and optionally a mechanical suggested fix.
 type Diagnostic struct {
 	Analyzer string `json:"analyzer"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
+	Fix      *Fix   `json:"fix,omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -50,10 +51,13 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Pass carries one (analyzer, package) run.
+// Pass carries one (analyzer, package) run. Facts is the run-wide fact
+// store: packages are analyzed in dependency order, so facts exported
+// while analyzing a package's module dependencies are already present.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Facts    *FactStore
 
 	diags []Diagnostic
 }
@@ -70,18 +74,93 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a finding at pos carrying a suggested edit: replace
+// the source span [pos, end) with newText. Spans crossing a line
+// boundary drop the fix and keep the plain diagnostic (every fix this
+// suite suggests is a single-line rewrite).
+func (p *Pass) ReportFix(pos, end token.Pos, fixMsg, newText, format string, args ...any) {
+	p.Reportf(pos, format, args...)
+	start := p.Pkg.Fset.Position(pos)
+	stop := p.Pkg.Fset.Position(end)
+	if start.Filename != stop.Filename || start.Line != stop.Line {
+		return
+	}
+	d := &p.diags[len(p.diags)-1]
+	d.Fix = &Fix{
+		Message: fixMsg,
+		Edits: []Edit{{
+			File: start.Filename, Line: start.Line,
+			StartCol: start.Column, EndCol: stop.Column, New: newText,
+		}},
+	}
+}
+
+// SpanEdit builds a single-line Edit replacing [pos, end) with newText.
+// It reports false when the span crosses a line boundary.
+func (p *Pass) SpanEdit(pos, end token.Pos, newText string) (Edit, bool) {
+	start := p.Pkg.Fset.Position(pos)
+	stop := p.Pkg.Fset.Position(end)
+	if start.Filename != stop.Filename || start.Line != stop.Line {
+		return Edit{}, false
+	}
+	return Edit{
+		File: start.Filename, Line: start.Line,
+		StartCol: start.Column, EndCol: stop.Column, New: newText,
+	}, true
+}
+
+// ReportWithFix records a finding at pos with a multi-edit fix. All
+// edits must target one line of one file (use SpanEdit); passing no
+// edits records a plain diagnostic.
+func (p *Pass) ReportWithFix(pos token.Pos, fixMsg string, edits []Edit, format string, args ...any) {
+	p.Reportf(pos, format, args...)
+	if len(edits) == 0 {
+		return
+	}
+	p.diags[len(p.diags)-1].Fix = &Fix{Message: fixMsg, Edits: edits}
+}
+
+// ExportFact attaches a fact to the object named by key, visible to
+// analyzers of every package analyzed after this one.
+func (p *Pass) ExportFact(key, name, detail string) {
+	if key == "" {
+		return
+	}
+	p.Facts.Export(Fact{Key: key, Name: name, Detail: detail, Analyzer: p.Analyzer.Name})
+}
+
+// Fact looks up a fact exported by any analyzer on any already-analyzed
+// package.
+func (p *Pass) Fact(key, name string) (Fact, bool) {
+	if key == "" {
+		return Fact{}, false
+	}
+	return p.Facts.Lookup(key, name)
+}
+
 // Run executes every applicable analyzer over every package, applies
 // //flexvet:ignore suppressions, and returns the surviving diagnostics
 // sorted by (file, line, col, analyzer, message) so output is stable.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunFacts(pkgs, analyzers)
+	return diags
+}
+
+// RunFacts is Run exposing the fact store the analyzers populated
+// (flexvet -facts prints it). Packages are analyzed in dependency order
+// — imports before importers — so facts exported for a package are
+// visible while analyzing its dependents, and identical diagnostics
+// from a package loaded more than once are reported exactly once.
+func RunFacts(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *FactStore) {
+	store := NewFactStore()
 	var out []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range sortByDeps(pkgs) {
 		ign := buildIgnores(pkg)
 		for _, a := range analyzers {
 			if a.Applies != nil && !a.Applies(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: store}
 			a.Run(pass)
 			for _, d := range pass.diags {
 				if ign.suppressed(d) {
@@ -107,12 +186,30 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return out
+	// Dedupe identical findings: a package loaded under two patterns (or
+	// as itself and as part of a wider load) must report each once.
+	deduped := out[:0]
+	for i, d := range out {
+		if i > 0 {
+			prev := out[i-1]
+			if prev.Analyzer == d.Analyzer && prev.File == d.File &&
+				prev.Line == d.Line && prev.Col == d.Col && prev.Message == d.Message {
+				continue
+			}
+		}
+		deduped = append(deduped, d)
+	}
+	return deduped, store
 }
 
-// All returns the flexvet analyzer suite in reporting order.
+// All returns the flexvet analyzer suite in reporting order: the four
+// PR-2 analyzers, then the five cross-package analyzers covering the
+// trace/workload/sim-handle subsystems.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Seedflow, Rangemap, Lockheld}
+	return []*Analyzer{
+		Detrand, Seedflow, Rangemap, Lockheld,
+		Traceemit, Handlesafe, Goroexit, Floatorder, Timescope,
+	}
 }
 
 // ByName returns the analyzers matching the given names, or an error

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// BaselineEntry identifies one accepted finding. Line and column are
+// deliberately omitted: a baseline should survive unrelated edits to the
+// file, so findings match on (analyzer, file, message) only.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is a committed set of accepted findings for incremental
+// adoption of new analyzers: flexvet -baseline filters matching
+// diagnostics out before deciding its exit status, so a tree with known
+// debt can gate on "no *new* findings" while the debt is paid down. CI
+// commits an empty baseline — the suite itself must stay clean.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// NewBaseline builds a baseline from diagnostics, deduplicated and
+// sorted so the file is byte-stable across runs.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	seen := map[BaselineEntry]bool{}
+	b := &Baseline{Findings: []BaselineEntry{}}
+	for _, d := range diags {
+		e := BaselineEntry{Analyzer: d.Analyzer, File: d.File, Message: d.Message}
+		if !seen[e] {
+			seen[e] = true
+			b.Findings = append(b.Findings, e)
+		}
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Write emits the baseline as indented JSON.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Filter splits diagnostics into those not covered by the baseline
+// (kept — these decide the exit status) and those it suppresses. A
+// baseline entry suppresses every diagnostic with the same analyzer,
+// file and message, however many times it occurs.
+func (b *Baseline) Filter(diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	if b == nil || len(b.Findings) == 0 {
+		return diags, nil
+	}
+	accepted := map[BaselineEntry]bool{}
+	for _, e := range b.Findings {
+		accepted[e] = true
+	}
+	for _, d := range diags {
+		if accepted[BaselineEntry{Analyzer: d.Analyzer, File: d.File, Message: d.Message}] {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineFilter(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "detrand", File: "x.go", Line: 3, Col: 1, Message: "time.Now in deterministic package p"},
+		{Analyzer: "detrand", File: "x.go", Line: 9, Col: 1, Message: "time.Now in deterministic package p"},
+		{Analyzer: "rangemap", File: "y.go", Line: 5, Col: 2, Message: "map iteration order"},
+	}
+	b := &Baseline{Findings: []BaselineEntry{
+		{Analyzer: "detrand", File: "x.go", Message: "time.Now in deterministic package p"},
+	}}
+	kept, suppressed := b.Filter(diags)
+	// The entry matches on (analyzer, file, message), so both occurrences
+	// — whatever their lines — are suppressed.
+	if len(suppressed) != 2 {
+		t.Errorf("suppressed %d findings, want 2", len(suppressed))
+	}
+	if len(kept) != 1 || kept[0].Analyzer != "rangemap" {
+		t.Errorf("kept = %v, want the one rangemap finding", kept)
+	}
+
+	// Nil and empty baselines pass everything through.
+	if kept, _ := (*Baseline)(nil).Filter(diags); len(kept) != len(diags) {
+		t.Errorf("nil baseline filtered findings")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "b", File: "f.go", Line: 2, Message: "msg two"},
+		{Analyzer: "a", File: "f.go", Line: 1, Message: "msg one"},
+		{Analyzer: "a", File: "f.go", Line: 8, Message: "msg one"}, // dupe entry
+	}
+	b := NewBaseline(diags)
+	if len(b.Findings) != 2 {
+		t.Fatalf("NewBaseline kept %d entries, want 2 (deduped)", len(b.Findings))
+	}
+	if b.Findings[0].Analyzer != "a" {
+		t.Errorf("baseline not sorted: %v", b.Findings)
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(f); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	f.Close()
+
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	kept, _ := loaded.Filter(diags)
+	if len(kept) != 0 {
+		t.Errorf("round-tripped baseline kept %d of its own findings, want 0: %v", len(kept), kept)
+	}
+}

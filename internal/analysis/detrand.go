@@ -7,15 +7,17 @@ import (
 
 // detrandScope is the set of packages whose behavior must be a pure
 // function of the scenario seed: the simulation engine, both AMs, the
-// YARN model, the trace layer and the experiment harnesses. cmd/
-// (wall-clock timing of the tool itself) and internal/randutil (the one
-// sanctioned seeding point) are deliberately outside this set.
+// YARN model, the trace layer, the workload generator and the experiment
+// harnesses. cmd/ (wall-clock timing of the tool itself) and
+// internal/randutil (the one sanctioned seeding point) are deliberately
+// outside this set.
 var detrandScope = []string{
 	"flexmap/internal/sim",
 	"flexmap/internal/core",
 	"flexmap/internal/engine",
 	"flexmap/internal/yarn",
 	"flexmap/internal/trace",
+	"flexmap/internal/workload",
 	"flexmap/internal/experiments",
 }
 

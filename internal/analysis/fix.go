@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Edit is one single-line textual replacement: the half-open byte-column
+// span [StartCol, EndCol) on File's Line is replaced by New. Columns are
+// 1-based, as go/token reports them. Keeping edits single-line keeps the
+// `-fix` diff renderer trivial and honest — every suggested fix in this
+// suite is a local rewrite.
+type Edit struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	StartCol int    `json:"start_col"`
+	EndCol   int    `json:"end_col"`
+	New      string `json:"new"`
+}
+
+// Fix is a mechanical suggested edit attached to a diagnostic. flexvet's
+// -fix flag renders fixes as minimal diffs; applying them is left to the
+// developer (the edit may need an accompanying import).
+type Fix struct {
+	Message string `json:"message"`
+	Edits   []Edit `json:"edits"`
+}
+
+// RenderFix renders a diagnostic's fix as a two-line minus/plus diff by
+// reading the source line and applying the edits. Returns "" when the
+// diagnostic carries no fix.
+func RenderFix(d Diagnostic) (string, error) {
+	if d.Fix == nil || len(d.Fix.Edits) == 0 {
+		return "", nil
+	}
+	// All edits of one fix target the same line of the same file (the
+	// single-line constraint Pass.ReportFix enforces).
+	file, line := d.Fix.Edits[0].File, d.Fix.Edits[0].Line
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	lines := strings.Split(string(data), "\n")
+	if line < 1 || line > len(lines) {
+		return "", fmt.Errorf("analysis: fix line %d out of range for %s", line, file)
+	}
+	old := lines[line-1]
+	edits := append([]Edit(nil), d.Fix.Edits...)
+	// Apply right-to-left so earlier spans keep their columns.
+	sort.Slice(edits, func(i, j int) bool { return edits[i].StartCol > edits[j].StartCol })
+	fixed := old
+	for _, e := range edits {
+		if e.File != file || e.Line != line {
+			return "", fmt.Errorf("analysis: fix edits span files/lines (%s:%d vs %s:%d)", e.File, e.Line, file, line)
+		}
+		if e.StartCol < 1 || e.EndCol-1 > len(fixed) || e.StartCol > e.EndCol {
+			return "", fmt.Errorf("analysis: fix span %d:%d out of range on %s:%d", e.StartCol, e.EndCol, file, line)
+		}
+		fixed = fixed[:e.StartCol-1] + e.New + fixed[e.EndCol-1:]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  fix: %s\n", d.Fix.Message)
+	fmt.Fprintf(&b, "  -%s\n", old)
+	fmt.Fprintf(&b, "  +%s\n", fixed)
+	return b.String(), nil
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRenderFix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(path, []byte("package x\nfor k := range m {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnostic{Fix: &Fix{
+		Message: "iterate maputil.SortedKeys",
+		Edits: []Edit{
+			{File: path, Line: 2, StartCol: 5, EndCol: 6, New: "_, k"},
+			{File: path, Line: 2, StartCol: 16, EndCol: 17, New: "maputil.SortedKeys(m)"},
+		},
+	}}
+	out, err := RenderFix(d)
+	if err != nil {
+		t.Fatalf("RenderFix: %v", err)
+	}
+	if !strings.Contains(out, "-for k := range m {") ||
+		!strings.Contains(out, "+for _, k := range maputil.SortedKeys(m) {") {
+		t.Errorf("RenderFix diff wrong:\n%s", out)
+	}
+
+	if out, err := RenderFix(Diagnostic{}); err != nil || out != "" {
+		t.Errorf("RenderFix without fix = (%q, %v), want empty", out, err)
+	}
+
+	bad := Diagnostic{Fix: &Fix{Edits: []Edit{{File: path, Line: 99, StartCol: 1, EndCol: 2}}}}
+	if _, err := RenderFix(bad); err == nil {
+		t.Error("RenderFix accepted an out-of-range line")
+	}
+}
+
+// TestRangemapFix: the key-only flagged loops in the rangemap testdata
+// carry the mechanical SortedKeys rewrite.
+func TestRangemapFix(t *testing.T) {
+	pkg := loadTestPkg(t, "testdata/src/rangemap", "flexmap/internal/rmtest")
+	diags := Run([]*Package{pkg}, []*Analyzer{Rangemap})
+	sawFix := false
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		sawFix = true
+		out, err := RenderFix(d)
+		if err != nil {
+			t.Errorf("RenderFix(%s): %v", d, err)
+			continue
+		}
+		if !strings.Contains(out, "maputil.SortedKeys(") || !strings.Contains(out, "_, ") {
+			t.Errorf("rangemap fix is not the SortedKeys rewrite:\n%s", out)
+		}
+	}
+	if !sawFix {
+		t.Error("no rangemap finding carried a suggested fix")
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestFloatorder(t *testing.T) {
+	runWant(t, "testdata/src/floatorder", "flexmap/internal/experiments/fotest", Floatorder)
+}

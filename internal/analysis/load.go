@@ -102,8 +102,15 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	var dirs []string
 	seen := map[string]bool{}
 	addDir := func(dir string) {
-		if !seen[dir] {
-			seen[dir] = true
+		// Dedupe by absolute path so the same package named through
+		// different patterns ("./internal/sim" and "/abs/…/internal/sim",
+		// or once explicitly and once via "./...") loads exactly once.
+		key := dir
+		if abs, err := filepath.Abs(dir); err == nil {
+			key = abs
+		}
+		if !seen[key] {
+			seen[key] = true
 			dirs = append(dirs, dir)
 		}
 	}

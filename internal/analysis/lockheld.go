@@ -11,6 +11,14 @@ import (
 // heuristically, functions whose body contains a <mu>.Lock() or
 // <mu>.RLock() call (any receiver chain; defer-unlock is not required).
 //
+// The guard annotation crosses package boundaries through the fact
+// layer: for every guarded field of an exported type, Lockheld exports a
+// "guarded-by" fact keyed by the field's object path, and when analyzing
+// an importing package it applies the same rule to selections of those
+// foreign fields. A package reaching into parallel.Pool's tally fields
+// without taking the pool's mutex is flagged even though the annotation
+// lives in internal/parallel.
+//
 // The check is intentionally shallow: it does not track lock state
 // across calls or prove the right instance is locked. It exists to keep
 // the annotation honest — a new access added without thinking about the
@@ -26,37 +34,62 @@ var Lockheld = &Analyzer{
 	Run: runLockheld,
 }
 
+// FactGuardedBy marks a struct field documented as "guarded by <mu>";
+// the fact's Detail is the mutex name.
+const FactGuardedBy = "guarded-by"
+
 func runLockheld(pass *Pass) {
 	info := pass.Pkg.TypesInfo
 
-	// Pass 1: collect guarded fields across the package.
+	// Pass 1: collect guarded fields across the package, and export a
+	// fact for each guarded field reachable from other packages (exported
+	// field of a named top-level type) so importing packages inherit the
+	// annotation.
 	guarded := map[types.Object]string{} // field object → mutex name
-	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			st, ok := n.(*ast.StructType)
-			if !ok {
-				return true
+	collect := func(typeName string, st *ast.StructType) {
+		for _, field := range st.Fields.List {
+			mu := guardedMutexName(field)
+			if mu == "" {
+				continue
 			}
-			for _, field := range st.Fields.List {
-				mu := guardedMutexName(field)
-				if mu == "" {
-					continue
-				}
-				for _, name := range field.Names {
-					if obj := info.Defs[name]; obj != nil {
-						guarded[obj] = mu
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					guarded[obj] = mu
+					if typeName != "" && name.IsExported() {
+						pass.ExportFact(FieldKey(pass.Pkg.Path, typeName, name.Name), FactGuardedBy, mu)
 					}
 				}
+			}
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		named := map[*ast.StructType]string{}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok && ts.Name.IsExported() {
+					named[st] = ts.Name.Name
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if st, ok := n.(*ast.StructType); ok {
+				collect(named[st], st)
 			}
 			return true
 		})
 	}
-	if len(guarded) == 0 {
-		return
-	}
 
-	// Pass 2: every function that touches a guarded field must lock its
-	// mutex somewhere in its body.
+	// Pass 2: every function that touches a guarded field — declared in
+	// this package or annotated in an imported one — must lock its mutex
+	// somewhere in its body.
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -74,6 +107,13 @@ func runLockheld(pass *Pass) {
 					return true
 				}
 				mu, ok := guarded[s.Obj()]
+				if !ok {
+					// Foreign field: consult the fact exported while its
+					// declaring package was analyzed.
+					if fact, factOK := pass.Fact(fieldSelectionKey(s), FactGuardedBy); factOK {
+						mu, ok = fact.Detail, true
+					}
+				}
 				if !ok || locked[mu] {
 					return true
 				}

@@ -1,0 +1,11 @@
+package analysis
+
+import "testing"
+
+// TestSuppressMultiAnalyzer proves //flexvet:ignore is per-analyzer on
+// lines where several analyzers fire: the testdata package sits in both
+// detrand's and timescope's scopes, so every time.Now draws two
+// findings, and each directive silences exactly the analyzers it names.
+func TestSuppressMultiAnalyzer(t *testing.T) {
+	runWant(t, "testdata/src/suppressmulti", "flexmap/internal/trace/supmulti", Detrand, Timescope)
+}

@@ -1,0 +1,76 @@
+// Package fotest exercises floatorder: float accumulation into captured
+// variables from completion-ordered closures (goroutine bodies and
+// internal/parallel callbacks).
+package fotest
+
+import (
+	"context"
+
+	"flexmap/internal/parallel"
+	"flexmap/internal/randutil"
+)
+
+func capturedSumInJob(names []string) float64 {
+	total := 0.0
+	jobs := make([]parallel.Job, 0, len(names))
+	for _, name := range names {
+		jobs = append(jobs, parallel.Job{
+			Name: name,
+			Run: func(ctx context.Context, rng *randutil.Source) (any, error) {
+				total += 1.0 // want floatorder:"completion-order"
+				return nil, nil
+			},
+		})
+	}
+	parallel.RunAll(context.Background(), 1, jobs)
+	return total
+}
+
+func goStmtAccum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		go func() {
+			sum += x // want floatorder:"completion-order"
+		}()
+	}
+	return sum
+}
+
+func onProgressAccum() parallel.Pool {
+	rate := 0.0
+	p := parallel.Pool{Workers: 2}
+	p.OnProgress = func(done, total int) {
+		rate = rate + float64(done)/float64(total) // want floatorder:"completion-order"
+	}
+	_ = rate
+	return p
+}
+
+// perResultReduce is the sanctioned shape: each job returns its value,
+// and the caller reduces the results slice — which RunAll returns in
+// submission order — deterministically after the pool finishes.
+func perResultReduce(ctx context.Context, jobs []parallel.Job) float64 {
+	results := parallel.RunAll(ctx, 7, jobs)
+	total := 0.0
+	for _, r := range results {
+		if v, ok := r.Value.(float64); ok {
+			total += v
+		}
+	}
+	return total
+}
+
+// localInsideLit accumulates into a literal-local variable, which no
+// other callback shares.
+func localInsideLit() parallel.Job {
+	return parallel.Job{
+		Name: "local",
+		Run: func(ctx context.Context, rng *randutil.Source) (any, error) {
+			local := 0.0
+			for i := 0; i < 4; i++ {
+				local += float64(i)
+			}
+			return local, nil
+		},
+	}
+}

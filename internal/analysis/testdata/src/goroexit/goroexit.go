@@ -1,0 +1,40 @@
+// Package goetest exercises goroexit: goroutines and blocking channel
+// operations are banned from the deterministic core.
+package goetest
+
+func spawn() {
+	go func() {}() // want goroexit:"go statement"
+}
+
+func unbuffered() chan int {
+	return make(chan int) // want goroexit:"unbuffered channel"
+}
+
+func send(ch chan int) {
+	ch <- 1 // want goroexit:"channel send"
+}
+
+func receive(ch chan int) int {
+	return <-ch // want goroexit:"channel receive"
+}
+
+func choose(a, b chan int) int {
+	select { // want goroexit:"select"
+	case v := <-a: // want goroexit:"channel receive"
+		return v
+	case v := <-b: // want goroexit:"channel receive"
+		return v
+	}
+}
+
+func drain(ch chan int) int {
+	total := 0
+	for v := range ch { // want goroexit:"ranges over a channel"
+		total += v
+	}
+	return total
+}
+
+func buffered() chan int {
+	return make(chan int, 8)
+}

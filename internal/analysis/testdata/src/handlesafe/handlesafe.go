@@ -1,0 +1,42 @@
+// Package hstest exercises handlesafe: pointer-held handles,
+// cross-engine cancellation, and handle identity comparison.
+package hstest
+
+import "flexmap/internal/sim"
+
+type ticker struct {
+	next *sim.Handle // want handlesafe:"store sim\.Handle by value"
+	ok   sim.Handle
+}
+
+var pending *sim.Handle // want handlesafe:"store sim\.Handle by value"
+
+func takesPtr(h *sim.Handle) { // want handlesafe:"store sim\.Handle by value"
+	_ = h
+}
+
+func returnsPtr() *sim.Handle { // want handlesafe:"store sim\.Handle by value"
+	return pending
+}
+
+func crossEngine(a, b *sim.Engine) {
+	h := a.After(1, "tick", func() {})
+	b.Cancel(h) // want handlesafe:"only meaningful to the engine that issued it"
+}
+
+func sameEngine(a *sim.Engine) {
+	h := a.After(1, "tick", func() {})
+	a.Cancel(h)
+}
+
+func identity(h1, h2 sim.Handle) bool {
+	return h1 == h2 // want handlesafe:"identity comparison"
+}
+
+func zeroCompare(h sim.Handle) bool {
+	return h == (sim.Handle{})
+}
+
+func useFields(t *ticker) sim.Handle {
+	return t.ok
+}

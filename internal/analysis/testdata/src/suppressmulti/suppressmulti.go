@@ -1,0 +1,30 @@
+// Package supmulti proves //flexvet:ignore is per-analyzer on lines
+// where several analyzers fire: its virtual import path sits inside both
+// detrand's and timescope's scopes, so one time.Now draws both.
+package supmulti
+
+import "time"
+
+func bothFlagged() int64 {
+	return time.Now().UnixNano() // want detrand:"time\.Now in deterministic package" timescope:"reads the wall clock"
+}
+
+func detrandIgnored() int64 {
+	//flexvet:ignore detrand
+	return time.Now().UnixNano() // want timescope:"reads the wall clock"
+}
+
+func timescopeIgnored() int64 {
+	//flexvet:ignore timescope
+	return time.Now().UnixNano() // want detrand:"time\.Now in deterministic package"
+}
+
+func bothIgnoredByName() int64 {
+	//flexvet:ignore detrand, timescope
+	return time.Now().UnixNano()
+}
+
+func bareIgnore() int64 {
+	//flexvet:ignore -- justification: testing the silence-everything form
+	return time.Now().UnixNano()
+}

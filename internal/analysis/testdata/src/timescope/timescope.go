@@ -1,0 +1,26 @@
+// Package tstest exercises timescope: wall-clock reads and
+// time.Time/time.Duration declarations in the scoped packages.
+package tstest
+
+import "time"
+
+type record struct {
+	stamp time.Time     // want timescope:"derive from sim\.Time"
+	span  time.Duration // want timescope:"must be sim\.Duration"
+}
+
+func nowStamp() int64 {
+	return time.Now().UnixNano() // want timescope:"reads the wall clock"
+}
+
+func wait(d time.Duration) { // want timescope:"must be sim\.Duration"
+	time.Sleep(d) // want timescope:"reads the wall clock"
+}
+
+func sinceStart(start time.Time) time.Duration { // want timescope:"derive from sim\.Time" timescope:"must be sim\.Duration"
+	return time.Since(start) // want timescope:"reads the wall clock"
+}
+
+func useRecord(r record) (int64, float64) {
+	return r.stamp.UnixNano(), r.span.Seconds()
+}

@@ -1,0 +1,29 @@
+// Package tetest exercises traceemit: bare metrics.Registry writes are
+// flagged inside the scoped packages; trace.Tracer methods and registry
+// reads are the sanctioned paths.
+package tetest
+
+import (
+	"flexmap/internal/metrics"
+	"flexmap/internal/trace"
+)
+
+func bareInc(reg *metrics.Registry) {
+	reg.Inc("maps_done", 1) // want traceemit:"bare metrics\.Registry write \(Inc"
+}
+
+func bareSet(reg *metrics.Registry) {
+	reg.Set("queue_depth", 3) // want traceemit:"bare metrics\.Registry write \(Set"
+}
+
+func bareViaTracerRegistry(tr *trace.Tracer) {
+	tr.Registry().Inc("maps_done", 1) // want traceemit:"bare metrics\.Registry write \(Inc"
+}
+
+func viaTracer(tr *trace.Tracer) {
+	tr.FinalizeRun()
+}
+
+func reads(reg *metrics.Registry) int64 {
+	return reg.Counter("maps_done")
+}

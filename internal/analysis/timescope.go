@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// timescopeScope is where timestamps are observable artifacts: the trace
+// event stream, the metrics registry and the workload generator. A wall
+// clock reading in any of them stamps real time into output that must be
+// a pure function of the scenario seed.
+var timescopeScope = []string{
+	"flexmap/internal/trace",
+	"flexmap/internal/metrics",
+	"flexmap/internal/workload",
+}
+
+// wallClockFuncs are the package-time functions that read or wait on
+// the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true, "Sleep": true,
+}
+
+// FactWallClock marks an exported function that reads the wall clock
+// (directly or through another fact-carrying call); calling it from the
+// trace/metrics/workload packages is a finding.
+const FactWallClock = "wall-clock"
+
+// Timescope keeps every timestamp in the observability and workload
+// layers derived from the simulation clock: sim.Time for instants,
+// sim.Duration for spans. It flags wall-clock reads (time.Now and
+// friends), declarations typed time.Time or time.Duration, and — via
+// the fact layer — calls into module functions that read the wall clock
+// behind an exported API. detrand already bans time.Now in the
+// deterministic core; Timescope extends the timestamp discipline to the
+// layers that serialize time into artifacts, where a stray
+// time.Duration parameter silently mixes wall and virtual units.
+var Timescope = &Analyzer{
+	Name: "timescope",
+	Doc: "trace/metrics/workload timestamps derive from sim.Time; no wall " +
+		"clock reads or time.Time/time.Duration declarations",
+	Run: runTimescope,
+}
+
+func runTimescope(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	inScope := pathIn(pass.Pkg.Path, timescopeScope...)
+	for _, f := range pass.Pkg.Files {
+		if inScope {
+			checkTimeTypedDecls(pass, f)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			wall := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					if pkgPath, ok := selectedPackage(info, sel); ok &&
+						pkgPath == "time" && wallClockFuncs[sel.Sel.Name] && isPackageFunc(info, sel) {
+						wall = true
+						if inScope {
+							pass.Reportf(sel.Pos(),
+								"time.%s reads the wall clock in %s: timestamps here are serialized into seed-reproducible artifacts and must derive from sim.Time",
+								sel.Sel.Name, pass.Pkg.Path)
+						}
+						return true
+					}
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := calledFunc(info, call); callee != nil {
+						key := funcObjKey(callee)
+						if fact, ok := pass.Fact(key, FactWallClock); ok {
+							wall = true
+							if inScope {
+								pass.Reportf(call.Pos(),
+									"call to %s reads the wall clock (%s): timestamps in %s must derive from sim.Time",
+									key, fact.Detail, pass.Pkg.Path)
+							}
+						}
+					}
+				}
+				return true
+			})
+			if wall && fd.Name.IsExported() {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					pass.ExportFact(funcObjKey(obj), FactWallClock, "via "+fd.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkTimeTypedDecls flags fields, parameters, results and vars typed
+// time.Time or time.Duration in the scoped packages.
+func checkTimeTypedDecls(pass *Pass, f *ast.File) {
+	info := pass.Pkg.TypesInfo
+	report := func(typeExpr ast.Expr) {
+		tv, ok := info.Types[typeExpr]
+		if !ok || tv.Type == nil {
+			return
+		}
+		switch {
+		case isNamedType(tv.Type, "time", "Time"):
+			pass.Reportf(typeExpr.Pos(),
+				"time.Time declaration in %s: instants here must derive from sim.Time (virtual seconds), not the wall clock",
+				pass.Pkg.Path)
+		case isNamedType(tv.Type, "time", "Duration"):
+			pass.Reportf(typeExpr.Pos(),
+				"time.Duration declaration in %s: spans here must be sim.Duration (virtual seconds) so wall and virtual units never mix",
+				pass.Pkg.Path)
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Field:
+			report(n.Type)
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				report(n.Type)
+			}
+		}
+		return true
+	})
+}

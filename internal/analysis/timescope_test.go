@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestTimescope(t *testing.T) {
+	runWant(t, "testdata/src/timescope", "flexmap/internal/workload/tstest", Timescope)
+}
+
+// Outside trace/metrics/workload the wall clock is legal (cmd/ times the
+// tool itself); timescope only exports facts there.
+func TestTimescopeOutOfScope(t *testing.T) {
+	pkg := loadTestPkg(t, "testdata/src/timescope", "flexmap/cmd/tstest")
+	if diags := Run([]*Package{pkg}, []*Analyzer{Timescope}); len(diags) != 0 {
+		t.Errorf("timescope out of scope: got %d diagnostics, want 0; first: %v", len(diags), diags[0])
+	}
+}

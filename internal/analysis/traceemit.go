@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// traceemitScope is the set of packages whose telemetry must flow
+// through trace.Tracer's typed, fixed-arity, job-scoped emission
+// methods. The trace layer double-books every counter under the bare
+// name (cluster aggregate) and the job-prefixed name; a bare
+// metrics.Registry write from a driver or reduce path bypasses that
+// scoping, so under runner.RunWorkload the counter mixes all concurrent
+// jobs and per-job accounting double-counts — the PR 6 bug class.
+var traceemitScope = []string{
+	"flexmap/internal/engine",
+	"flexmap/internal/core",
+	"flexmap/internal/yarn",
+	"flexmap/internal/dfs",
+	"flexmap/internal/faults",
+	"flexmap/internal/speculate",
+	"flexmap/internal/runner",
+	"flexmap/internal/workload",
+	"flexmap/internal/experiments",
+}
+
+// traceemitExempt are the packages that implement the sanctioned
+// emission paths themselves.
+var traceemitExempt = []string{
+	"flexmap/internal/trace",
+	"flexmap/internal/metrics",
+}
+
+const (
+	metricsPkgPath = "flexmap/internal/metrics"
+	tracePkgPath   = "flexmap/internal/trace"
+
+	// FactBareMetricWrite marks an exported function that writes a
+	// metrics.Registry counter/gauge directly; calls to it from scoped
+	// packages are findings even across package boundaries.
+	FactBareMetricWrite = "bare-metric-write"
+	// FactEmitsTrace marks an exported function that emits trace events
+	// (calls a trace.Tracer emission method). Informational — printed by
+	// flexvet -facts and available to future analyzers.
+	FactEmitsTrace = "emits-trace"
+)
+
+// Traceemit enforces the emission discipline of the observability
+// layer: simulation code records telemetry only through trace.Tracer's
+// nil-safe fixed-arity methods, never by writing metrics.Registry
+// counters/gauges directly. It runs over every package to export
+// bare-metric-write and emits-trace facts, and reports only inside the
+// driver/reduce/scheduler packages where a bare write double-counts
+// under concurrent multi-job workloads.
+var Traceemit = &Analyzer{
+	Name: "traceemit",
+	Doc: "trace/metric emission only via trace.Tracer's job-scoped methods; " +
+		"bare metrics.Registry writes double-count under RunWorkload",
+	Run: runTraceemit,
+}
+
+func runTraceemit(pass *Pass) {
+	if pathIn(pass.Pkg.Path, traceemitExempt...) {
+		return
+	}
+	info := pass.Pkg.TypesInfo
+	inScope := pathIn(pass.Pkg.Path, traceemitScope...)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			bare := false
+			emits := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, selOK := call.Fun.(*ast.SelectorExpr)
+				if selOK {
+					if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+						if isRegistryWrite(s, sel.Sel.Name) {
+							bare = true
+							if inScope {
+								pass.Reportf(sel.Pos(),
+									"bare metrics.Registry write (%s %q): counters written outside trace.Tracer's job-scoped methods double-count under RunWorkload; emit via a Tracer method",
+									sel.Sel.Name, callArgLabel(call))
+							}
+							return true
+						}
+						if isTracerEmit(s) {
+							emits = true
+							return true
+						}
+					}
+				}
+				// Cross-package propagation: calling a module function that
+				// carries the bare-metric-write fact is the same bug one
+				// hop removed.
+				if callee := calledFunc(info, call); callee != nil {
+					key := funcObjKey(callee)
+					if fact, ok := pass.Fact(key, FactBareMetricWrite); ok {
+						bare = true
+						if inScope {
+							pass.Reportf(call.Pos(),
+								"call to %s performs a bare metrics.Registry write (%s): route telemetry through trace.Tracer's job-scoped methods",
+								key, fact.Detail)
+						}
+					}
+					if _, ok := pass.Fact(key, FactEmitsTrace); ok {
+						emits = true
+					}
+				}
+				return true
+			})
+			if fd.Name.IsExported() {
+				if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+					if bare {
+						pass.ExportFact(funcObjKey(obj), FactBareMetricWrite, "via "+fd.Name.Name)
+					}
+					if emits {
+						pass.ExportFact(funcObjKey(obj), FactEmitsTrace, "via "+fd.Name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// isRegistryWrite reports whether the method selection is a mutating
+// metrics.Registry method (Inc or Set). Reads (Counter, Gauge,
+// Snapshot) are fine: they cannot double-count anything.
+func isRegistryWrite(s *types.Selection, name string) bool {
+	if name != "Inc" && name != "Set" {
+		return false
+	}
+	return isNamedType(s.Recv(), metricsPkgPath, "Registry")
+}
+
+// isTracerEmit reports whether the selection is a method on
+// trace.Tracer (the sanctioned emission surface).
+func isTracerEmit(s *types.Selection) bool {
+	return isNamedType(s.Recv(), tracePkgPath, "Tracer")
+}
+
+// calledFunc resolves a call's callee to a *types.Func for plain and
+// selector calls ("pkg.Fn(…)", "recv.Method(…)", "Fn(…)").
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// callArgLabel returns the call's first argument when it is a string
+// literal (the metric name), for friendlier messages.
+func callArgLabel(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return "?"
+	}
+	if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+		s := lit.Value
+		if len(s) >= 2 {
+			return s[1 : len(s)-1]
+		}
+	}
+	return "?"
+}

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestTraceemit(t *testing.T) {
+	runWant(t, "testdata/src/traceemit", "flexmap/internal/engine/tetest", Traceemit)
+}
+
+// Outside the scoped packages the same code is host tooling and must
+// produce no findings (facts are still exported, silently).
+func TestTraceemitOutOfScope(t *testing.T) {
+	pkg := loadTestPkg(t, "testdata/src/traceemit", "flexmap/internal/toolhost/tetest")
+	if diags := Run([]*Package{pkg}, []*Analyzer{Traceemit}); len(diags) != 0 {
+		t.Errorf("traceemit out of scope: got %d diagnostics, want 0; first: %v", len(diags), diags[0])
+	}
+}

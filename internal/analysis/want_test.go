@@ -40,13 +40,34 @@ type wantExp struct {
 	matched  bool
 }
 
+// wantPkg names one testdata package of a multi-package run: the
+// directory to load and the virtual import path to load it under.
+type wantPkg struct {
+	dir    string
+	asPath string
+}
+
 // runWant loads dir as package asPath and checks the analyzers'
 // diagnostics against the package's want comments.
 func runWant(t *testing.T, dir, asPath string, analyzers ...*Analyzer) {
 	t.Helper()
-	pkg := loadTestPkg(t, dir, asPath)
-	wants := collectWants(t, pkg)
-	diags := Run([]*Package{pkg}, analyzers)
+	runWantPkgs(t, []wantPkg{{dir, asPath}}, analyzers...)
+}
+
+// runWantPkgs loads several testdata packages — in the order given, which
+// Run's dependency sort must make irrelevant — and checks the combined
+// diagnostics against all their want comments. Cross-package fact tests
+// list the importing package first on purpose.
+func runWantPkgs(t *testing.T, specs []wantPkg, analyzers ...*Analyzer) {
+	t.Helper()
+	var pkgs []*Package
+	var wants []*wantExp
+	for _, s := range specs {
+		pkg := loadTestPkg(t, s.dir, s.asPath)
+		pkgs = append(pkgs, pkg)
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+	diags := Run(pkgs, analyzers)
 
 outer:
 	for _, d := range diags {
