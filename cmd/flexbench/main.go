@@ -12,8 +12,18 @@
 // Usage:
 //
 //	flexbench [-out dir] [-sizes 10,50,200] [-bus-per-node 24] [-seed 42]
-//	          [-micro-time 100ms] [-check BENCH_old.json] [-check-threshold 1.25]
-//	          [-max-allocs-per-event N]
+//	          [-micro-time 100ms] [-check BENCH_old.json|latest] [-check-threshold 1.25]
+//	          [-max-allocs-per-event N] [-xl-sizes 2000,10000] [-xl-shards 8]
+//	          [-xl-bus-per-node 8] [-xl-budget 2m] [-min-xl-events-per-sec N]
+//
+// Beyond the classic grid, an XL section runs single-job cells at
+// cluster scale (default n=2000 and n=10000) on the sharded engine.
+// XL cells carry a wall-clock budget and an optional events/sec floor:
+// the point of sharding is that a 10k-node cluster stays simulable, and
+// the floor pins that in CI. -check accepts the literal "latest", which
+// resolves to the highest-numbered BENCH_<n>.json already in -out —
+// resolved before the new report is written, so the gate always compares
+// against the most recent committed baseline instead of a stale pin.
 //
 // The simulation outputs themselves are deterministic; only wall-clock
 // derived fields vary between machines. Allocation counts are stable for
@@ -77,6 +87,10 @@ type GridRun struct {
 	AllocsPerEv float64 `json:"allocs_per_event"`
 	BytesPerEv  float64 `json:"bytes_per_event"`
 
+	// Shards is the engine shard count the cell ran with; omitted (1,
+	// serial) for the classic grid so historical diffs stay clean.
+	Shards int `json:"shards,omitempty"`
+
 	// Workload cells: sustained concurrent-job load through one RM.
 	Jobs              int `json:"jobs,omitempty"`
 	JobsCompleted     int `json:"jobs_completed,omitempty"`
@@ -97,9 +111,14 @@ func main() {
 	busPerNode := flag.Int("bus-per-node", 24, "input scale: 8 MB block units per node")
 	seed := flag.Int64("seed", 42, "scenario seed (placement, noise, faults)")
 	microTime := flag.Duration("micro-time", 100*time.Millisecond, "benchtime per microbenchmark")
-	check := flag.String("check", "", "baseline BENCH_<n>.json to gate against")
+	check := flag.String("check", "", "baseline BENCH_<n>.json to gate against, or \"latest\" for the newest in -out")
 	threshold := flag.Float64("check-threshold", 1.25, "max allowed allocs/event (and allocs/op) ratio vs -check baseline")
 	maxAllocs := flag.Float64("max-allocs-per-event", 0, "absolute allocs/event ceiling over the grid (0 = no gate)")
+	xlSizes := flag.String("xl-sizes", "2000,10000", "comma-separated XL cluster sizes run on the sharded engine (empty = skip)")
+	xlShards := flag.Int("xl-shards", 8, "engine shard count for XL cells")
+	xlBusPerNode := flag.Int("xl-bus-per-node", 8, "input scale for XL cells: 8 MB block units per node")
+	xlBudget := flag.Duration("xl-budget", 2*time.Minute, "wall-clock budget per XL cell (0 = no budget)")
+	minXLEvents := flag.Float64("min-xl-events-per-sec", 0, "events/sec floor over XL cells (0 = no gate)")
 	flag.Parse()
 
 	nodeCounts, err := parseSizes(*sizes)
@@ -119,7 +138,7 @@ func main() {
 		for _, eng := range []runner.EngineKind{runner.Hadoop, runner.FlexMap} {
 			for _, withFaults := range []bool{false, true} {
 				for _, withTrace := range []bool{false, true} {
-					run, err := runCell(n, eng, withFaults, withTrace, *busPerNode, *seed)
+					run, err := runCell(n, eng, withFaults, withTrace, *busPerNode, *seed, 1)
 					if err != nil {
 						fatal(fmt.Errorf("%s: %w", run.Name, err))
 					}
@@ -157,10 +176,46 @@ func main() {
 		rep.Grid = append(rep.Grid, run)
 	}
 
+	// XL cells: the largest clusters, single job, sharded engine. Faults
+	// and tracing stay off — the cell isolates raw event throughput at
+	// fleet scale, and the shard-equivalence suite already pins that
+	// traces are byte-identical at any shard count.
+	xlCounts, err := parseSizes(*xlSizes)
+	if *xlSizes == "" {
+		xlCounts, err = nil, nil
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range xlCounts {
+		for _, eng := range []runner.EngineKind{runner.Hadoop, runner.FlexMap} {
+			run, err := runXLCell(n, eng, *xlBusPerNode, *seed, *xlShards)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", run.Name, err))
+			}
+			fmt.Printf("%-40s %10.1f ev/ms  %6.1f allocs/ev  %8.0f B/ev  %8.0fms wall\n",
+				run.Name, run.EventsPerS/1e3, run.AllocsPerEv, run.BytesPerEv, run.WallMS)
+			if *xlBudget > 0 && run.WallMS > float64(*xlBudget)/float64(time.Millisecond) {
+				fatal(fmt.Errorf("gate: %s took %.0fms, budget %s", run.Name, run.WallMS, *xlBudget))
+			}
+			rep.Grid = append(rep.Grid, run)
+		}
+	}
+
 	rep.Micro = runMicro(*microTime)
 	for _, m := range rep.Micro {
 		fmt.Printf("%-40s %10.1f ns/op  %6.1f allocs/op  %8.1f B/op\n",
 			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+	}
+
+	// Resolve "latest" before the new report lands, so the gate compares
+	// against the newest committed baseline, not the file just written.
+	if *check == "latest" {
+		latest, err := latestBenchPath(*out)
+		if err != nil {
+			fatal(err)
+		}
+		*check = latest
 	}
 
 	path, err := nextBenchPath(*out)
@@ -198,6 +253,17 @@ func main() {
 		}
 		fmt.Printf("gate: within %.2fx of %s\n", *threshold, *check)
 	}
+	if *minXLEvents > 0 {
+		for _, g := range rep.Grid {
+			if g.Shards == 0 {
+				continue // classic grid; the floor covers only XL cells
+			}
+			if g.EventsPerS < *minXLEvents {
+				fatal(fmt.Errorf("gate: %s ran at %.0f events/sec, floor %.0f", g.Name, g.EventsPerS, *minXLEvents))
+			}
+		}
+		fmt.Printf("gate: all XL cells above %.0f events/sec\n", *minXLEvents)
+	}
 }
 
 func fatal(err error) {
@@ -234,19 +300,27 @@ func benchCluster(n int) runner.ClusterFactory {
 	}
 }
 
-func runCell(n int, kind runner.EngineKind, withFaults, withTrace bool, busPerNode int, seed int64) (GridRun, error) {
+func runCell(n int, kind runner.EngineKind, withFaults, withTrace bool, busPerNode int, seed int64, shards int) (GridRun, error) {
+	name := fmt.Sprintf("n%d/%s/faults=%s/trace=%s", n, kind, onOff(withFaults), onOff(withTrace))
+	if shards > 1 {
+		name = fmt.Sprintf("xl/n%d/%s/shards=%d", n, kind, shards)
+	}
 	run := GridRun{
-		Name:   fmt.Sprintf("n%d/%s/faults=%s/trace=%s", n, kind, onOff(withFaults), onOff(withTrace)),
+		Name:   name,
 		Nodes:  n,
 		Engine: string(kind),
 		Faults: withFaults,
 		Trace:  withTrace,
+	}
+	if shards > 1 {
+		run.Shards = shards
 	}
 	sc := runner.Scenario{
 		Name:      run.Name,
 		Cluster:   benchCluster(n),
 		Seed:      seed,
 		InputSize: int64(n) * int64(busPerNode) * dfs.BUSize,
+		Shards:    shards,
 	}
 	if withFaults {
 		sc.Faults = faults.Plan{CrashRate: 1}
@@ -352,6 +426,13 @@ func runWorkloadCell(n int, kind runner.EngineKind, seed int64) (GridRun, error)
 	run.JobsCompleted = res.Completed
 	run.MaxConcurrentJobs = res.MaxConcurrent
 	return run, nil
+}
+
+// runXLCell is one fleet-scale cell: single job, no faults, no tracing,
+// sharded engine. A lighter per-node input (xl-bus-per-node) keeps the
+// cell about steady-state event throughput rather than DFS placement.
+func runXLCell(n int, kind runner.EngineKind, busPerNode int, seed int64, shards int) (GridRun, error) {
+	return runCell(n, kind, false, false, busPerNode, seed, shards)
 }
 
 func onOff(b bool) string {
@@ -467,12 +548,12 @@ func benchRelativeSpeeds(b *testing.B) {
 	}
 }
 
-// nextBenchPath returns BENCH_<n>.json with n one past the largest
-// existing index in dir.
-func nextBenchPath(dir string) (string, error) {
+// maxBenchIndex returns the largest n among BENCH_<n>.json files in dir,
+// or 0 when none exist.
+func maxBenchIndex(dir string) (int, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return "", err
+		return 0, err
 	}
 	max := 0
 	for _, e := range ents {
@@ -484,7 +565,30 @@ func nextBenchPath(dir string) (string, error) {
 			max = n
 		}
 	}
+	return max, nil
+}
+
+// nextBenchPath returns BENCH_<n>.json with n one past the largest
+// existing index in dir.
+func nextBenchPath(dir string) (string, error) {
+	max, err := maxBenchIndex(dir)
+	if err != nil {
+		return "", err
+	}
 	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+// latestBenchPath resolves -check latest: the highest-numbered existing
+// BENCH_<n>.json in dir.
+func latestBenchPath(dir string) (string, error) {
+	max, err := maxBenchIndex(dir)
+	if err != nil {
+		return "", err
+	}
+	if max == 0 {
+		return "", fmt.Errorf("-check latest: no BENCH_<n>.json in %s", dir)
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max)), nil
 }
 
 // gateAgainst fails when any grid cell's allocs/event (or micro bench's

@@ -41,6 +41,7 @@ func main() {
 	slowFraction := flag.Float64("slow-fraction", 0.20, "slow-node fraction for -cluster multitenant")
 	nodes := flag.Int("nodes", 6, "node count for -cluster homogeneous")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	shards := flag.Int("shards", 1, "event-queue shard count (output is byte-identical at any value)")
 	attempts := flag.Bool("attempts", false, "print the per-attempt table")
 	tracePath := flag.String("trace", "", "write the typed event trace as JSON Lines to this file")
 	perfettoPath := flag.String("perfetto", "", "write a Chrome trace-event file (chrome://tracing, ui.perfetto.dev)")
@@ -107,6 +108,7 @@ func main() {
 			crashRate:   *crashRate,
 			downtime:    *downtime,
 			tracePath:   *tracePath,
+			shards:      *shards,
 		})
 		return
 	}
@@ -117,6 +119,7 @@ func main() {
 		Seed:      *seed,
 		InputSize: *sizeGB * flexmap.GB,
 		SkewSigma: *skew,
+		Shards:    *shards,
 		Faults:    flexmap.FaultPlan{CrashRate: *crashRate, MeanDowntime: flexmap.Duration(*downtime)},
 		Trace: flexmap.TraceOptions{
 			Collect:      *timeline,
@@ -255,6 +258,7 @@ type workloadArgs struct {
 	crashRate   float64
 	downtime    float64
 	tracePath   string
+	shards      int
 }
 
 // runWorkload runs the open multi-job mode and prints per-job outcomes
@@ -280,6 +284,7 @@ func runWorkload(a workloadArgs) {
 		Policy:    a.policy,
 		SkewSigma: a.skew,
 		Faults:    flexmap.FaultPlan{CrashRate: a.crashRate, MeanDowntime: flexmap.Duration(a.downtime)},
+		Shards:    a.shards,
 		Trace:     flexmap.TraceOptions{JSONLPath: a.tracePath},
 	}
 	switch a.process {

@@ -1,0 +1,25 @@
+// shard.go in flexmap/internal/sim is the sharded-execution runtime and
+// carries goroexit's only file-scoped exemption: nothing in this file is
+// flagged.
+package sim
+
+import "sync"
+
+type Engine struct{ shards int }
+
+func (e *Engine) Fork(fn func(shard int)) {
+	if e.shards <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(e.shards - 1)
+	for s := 1; s < e.shards; s++ {
+		go func(shard int) {
+			defer wg.Done()
+			fn(shard)
+		}(s)
+	}
+	fn(0)
+	wg.Wait()
+}

@@ -1,0 +1,7 @@
+// A file merely named shard.go outside flexmap/internal/sim gets no
+// exemption — the carve-out is keyed on (package, file), not filename.
+package engine
+
+func spawn(fn func()) {
+	go fn() // want goroexit:"go statement in deterministic package flexmap/internal/engine"
+}

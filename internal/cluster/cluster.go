@@ -36,6 +36,14 @@ type Node struct {
 	interference float64 // current multiplier in (0,1]; 1 = no interference
 	down         bool    // crashed (fault injection); no heartbeats, no work
 	listeners    []func(*Node)
+	epoch        *uint64 // cluster-wide speed epoch (nil for standalone nodes)
+}
+
+// bumpEpoch advances the owning cluster's speed epoch, if any.
+func (n *Node) bumpEpoch() {
+	if n.epoch != nil {
+		*n.epoch++
+	}
 }
 
 // Down reports whether the node is crashed. A down node sends no
@@ -47,7 +55,12 @@ func (n *Node) Down() bool { return n.down }
 // SetDown marks the node crashed or restored. It only flips the flag:
 // killing resident work and reconciling RM capacity are the fault
 // injector's and watcher's jobs, keeping the node model mechanism-free.
-func (n *Node) SetDown(down bool) { n.down = down }
+func (n *Node) SetDown(down bool) {
+	if down != n.down {
+		n.down = down
+		n.bumpEpoch()
+	}
+}
 
 // Speed returns the node's current effective speed.
 func (n *Node) Speed() float64 { return n.BaseSpeed * n.interference }
@@ -66,6 +79,7 @@ func (n *Node) SetInterference(mult float64) {
 		return
 	}
 	n.interference = mult
+	n.bumpEpoch()
 	for _, fn := range n.listeners {
 		fn(n)
 	}
@@ -86,12 +100,35 @@ type Cluster struct {
 	// block reads and shuffle fetches. The paper's testbeds use 10 Gbps
 	// Ethernet (~1250 MB/s).
 	NetBW float64
+
+	// slab is the contiguous backing array for Nodes: one allocation for
+	// the whole fleet so 10k-node sweeps walk a flat cache-friendly block
+	// instead of chasing individually heap-allocated nodes.
+	slab []Node
+
+	// speedEpoch increments on every effective-speed or liveness change
+	// of any node. Consumers (e.g. the LATE slow-node percentile) key
+	// caches on it: equal epoch means every node speed is unchanged.
+	speedEpoch uint64
+
+	// totalSlots is fixed at construction; per-node slot counts never
+	// change, and schedulers ask for the total on every probe.
+	totalSlots int
 }
 
+// SpeedEpoch returns the cluster-wide speed epoch: it increments whenever
+// any node's interference multiplier or down flag changes, so a cached
+// speed-derived value is valid exactly while the epoch stands still.
+func (c *Cluster) SpeedEpoch() uint64 { return c.speedEpoch }
+
 // NewCluster builds a cluster from node specs. Each spec contributes one
-// node; slots default to 2 and base speed to 1.0 when zero.
+// node; slots default to 2 and base speed to 1.0 when zero. Nodes are
+// stored in one contiguous slab (struct-of-arrays friendly: dense IDs
+// index both Nodes and every per-node slice in the scheduler stack).
 func NewCluster(name string, specs []NodeSpec) *Cluster {
 	c := &Cluster{Name: name, NetBW: 1250}
+	c.slab = make([]Node, len(specs))
+	c.Nodes = make([]*Node, 0, len(specs))
 	for i, s := range specs {
 		speed := s.BaseSpeed
 		if speed == 0 {
@@ -108,14 +145,17 @@ func NewCluster(name string, specs []NodeSpec) *Cluster {
 		if nodeName == "" {
 			nodeName = fmt.Sprintf("node-%02d", i)
 		}
-		c.Nodes = append(c.Nodes, &Node{
+		c.slab[i] = Node{
 			ID:           NodeID(i),
 			Name:         nodeName,
 			Class:        s.Class,
 			BaseSpeed:    speed,
 			Slots:        slots,
 			interference: 1.0,
-		})
+			epoch:        &c.speedEpoch,
+		}
+		c.Nodes = append(c.Nodes, &c.slab[i])
+		c.totalSlots += slots
 	}
 	return c
 }
@@ -132,13 +172,7 @@ type NodeSpec struct {
 func (c *Cluster) Size() int { return len(c.Nodes) }
 
 // TotalSlots returns the number of container slots in the cluster.
-func (c *Cluster) TotalSlots() int {
-	total := 0
-	for _, n := range c.Nodes {
-		total += n.Slots
-	}
-	return total
-}
+func (c *Cluster) TotalSlots() int { return c.totalSlots }
 
 // Node returns the node with the given ID. It panics on an unknown ID —
 // node IDs are dense indices assigned by NewCluster.

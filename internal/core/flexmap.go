@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"flexmap/internal/cluster"
 	"flexmap/internal/dfs"
@@ -53,10 +52,32 @@ type AM struct {
 	completed  map[string]bool
 	tasksLeft  int // live (incomplete) tasks with attempts in flight
 	activeSpec int
-	waveByNode map[cluster.NodeID]int
+	waveByNode []int // per-node launch count, indexed by dense NodeID
+
+	// Speculation-candidate cache: the Task-sorted sole-attempt list,
+	// rebuilt only when attempt state moves (attemptEpoch bumps) rather
+	// than on every declined offer. candOrder is the launch-ordered
+	// master list of original attempts, compacted lazily; candidate order
+	// is launch order, which the policy must not depend on (LATE's victim
+	// choice is order-independent).
+	attemptEpoch uint64
+	candOrder    []*engine.MapAttempt
+	candBuf      []*engine.MapAttempt
+	candAt       uint64
+	candValid    bool
 
 	// SizeTrace records every dispatched task's size for Fig. 7.
 	SizeTrace []SizeSample
+
+	// fairShare cache: totalRel and oneWave are pure functions of the
+	// speed windows (monitor epoch) and the size units (sizer epoch), but
+	// the naive recompute is O(nodes) per offer — quadratic per wave at
+	// 10k nodes. Valid while both epochs stand still.
+	fsValid    bool
+	fsMonAt    uint64
+	fsSizerAt  uint64
+	fsTotalRel float64
+	fsOneWave  int
 }
 
 // SizeSample is one dispatched task size, for the Fig. 7 trace.
@@ -84,7 +105,7 @@ func NewAM(d *engine.Driver, rng *randutil.Source) (*AM, error) {
 		rng:        rng,
 		attempts:   make(map[string][]*engine.MapAttempt),
 		completed:  make(map[string]bool),
-		waveByNode: make(map[cluster.NodeID]int),
+		waveByNode: make([]int, d.Cluster.Size()),
 	}
 	d.Result.Engine = am.Name
 	d.ReducePlacer = am.placeReducers
@@ -157,12 +178,17 @@ func (am *AM) OnSlotFree(node *cluster.Node) bool {
 // caller's current RelativeSpeeds map, passed in so the per-dispatch path
 // computes it exactly once.
 func (am *AM) fairShare(node *cluster.Node, rel float64, rels map[cluster.NodeID]float64) int {
-	var totalRel float64
-	oneWave := 0
-	for _, n := range am.d.Cluster.Nodes {
-		totalRel += rels[n.ID] * float64(n.Slots)
-		oneWave += n.Slots * am.sizer.TaskSize(int(n.ID), rels[n.ID])
+	if !am.fsValid || am.fsMonAt != am.monitor.Epoch() || am.fsSizerAt != am.sizer.Epoch() {
+		var totalRel float64
+		oneWave := 0
+		for _, n := range am.d.Cluster.Nodes {
+			totalRel += rels[n.ID] * float64(n.Slots)
+			oneWave += n.Slots * am.sizer.TaskSize(int(n.ID), rels[n.ID])
+		}
+		am.fsValid, am.fsMonAt, am.fsSizerAt = true, am.monitor.Epoch(), am.sizer.Epoch()
+		am.fsTotalRel, am.fsOneWave = totalRel, oneWave
 	}
+	totalRel, oneWave := am.fsTotalRel, am.fsOneWave
 	remaining := am.tracker.Remaining()
 	if totalRel <= 0 || remaining >= oneWave {
 		return remaining // not in the endgame; no clamp
@@ -197,6 +223,10 @@ func (am *AM) launch(node *cluster.Node, task string, bus []dfs.BUID, local int,
 		OnDone:      am.onMapDone,
 	})
 	am.attempts[task] = append(am.attempts[task], a)
+	if !speculative {
+		am.candOrder = append(am.candOrder, a)
+	}
+	am.attemptEpoch++
 }
 
 func (am *AM) onMapDone(a *engine.MapAttempt) {
@@ -219,6 +249,7 @@ func (am *AM) onMapDone(a *engine.MapAttempt) {
 		}
 	}
 	delete(am.attempts, a.Task)
+	am.attemptEpoch++
 	am.tasksLeft--
 
 	// Vertical scaling feedback from this attempt's productivity (Eq. 1):
@@ -244,17 +275,30 @@ func (am *AM) trySpeculate(node *cluster.Node) bool {
 	if am.Speculation == nil {
 		return false
 	}
-	var candidates []*engine.MapAttempt
-	for task, list := range am.attempts {
-		if am.completed[task] || len(list) != 1 {
-			continue
+	if !am.candValid || am.candAt != am.attemptEpoch {
+		am.candBuf = am.candBuf[:0]
+		keep := am.candOrder[:0]
+		for _, a := range am.candOrder {
+			list := am.attempts[a.Task]
+			alive := false
+			for _, o := range list {
+				if o == a {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				continue // finished or superseded; this pointer never returns
+			}
+			keep = append(keep, a)
+			if !am.completed[a.Task] && len(list) == 1 && !a.Killed() {
+				am.candBuf = append(am.candBuf, a)
+			}
 		}
-		if a := list[0]; !a.Speculative && !a.Killed() {
-			candidates = append(candidates, a)
-		}
+		am.candOrder = keep
+		am.candValid, am.candAt = true, am.attemptEpoch
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Task < candidates[j].Task })
-	victim := am.Speculation.Pick(am.d, node, candidates, am.activeSpec)
+	victim := am.Speculation.Pick(am.d, node, am.candBuf, am.attemptEpoch, am.activeSpec)
 	if victim == nil {
 		return false
 	}

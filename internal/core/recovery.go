@@ -106,8 +106,10 @@ func (am *AM) dropAttempt(a *engine.MapAttempt) int {
 	}
 	if len(list) == 0 {
 		delete(am.attempts, a.Task)
+		am.attemptEpoch++
 		return 0
 	}
 	am.attempts[a.Task] = list
+	am.attemptEpoch++
 	return len(list)
 }

@@ -12,35 +12,57 @@ const (
 	LinearLimit = 0.9
 )
 
-// Sizer tracks per-node size units and applies Algorithm 1.
+// Sizer tracks per-node size units and applies Algorithm 1. Per-node
+// state is flat slices indexed by the dense node id (grown on demand), so
+// the sizing loops in fairShare walk contiguous memory at 10k nodes.
 type Sizer struct {
 	// MaxBUs caps a single task's size; the paper's largest observed task
 	// was 64 BUs = 512 MB.
 	MaxBUs int
 
-	units  map[int]int // node id → s_i in BUs
-	frozen map[int]bool
+	units  []int // node id → s_i in BUs; 0 = default 1
+	frozen []bool
+
+	// epoch increments whenever any node's unit or frozen flag changes,
+	// so sizing-derived caches (the AM's one-wave total) key on it.
+	epoch uint64
 }
 
 // NewSizer returns a sizer with every node at one BU.
 func NewSizer() *Sizer {
-	return &Sizer{
-		MaxBUs: 64,
-		units:  make(map[int]int),
-		frozen: make(map[int]bool),
+	return &Sizer{MaxBUs: 64}
+}
+
+// Epoch returns the sizing epoch: it increments on every vertical-scaling
+// state change, so a cache keyed on it is valid exactly while every s_i
+// stands still.
+func (s *Sizer) Epoch() uint64 { return s.epoch }
+
+// grow ensures the per-node slices cover node.
+func (s *Sizer) grow(node int) {
+	if node < len(s.units) {
+		return
 	}
+	units := make([]int, node+1)
+	copy(units, s.units)
+	s.units = units
+	frozen := make([]bool, node+1)
+	copy(frozen, s.frozen)
+	s.frozen = frozen
 }
 
 // SizeUnit returns s_i for a node (≥ 1 BU).
 func (s *Sizer) SizeUnit(node int) int {
-	if u := s.units[node]; u > 0 {
-		return u
+	if node >= 0 && node < len(s.units) && s.units[node] > 0 {
+		return s.units[node]
 	}
 	return 1
 }
 
 // Frozen reports whether the node's size unit has stopped growing.
-func (s *Sizer) Frozen(node int) bool { return s.frozen[node] }
+func (s *Sizer) Frozen(node int) bool {
+	return node >= 0 && node < len(s.frozen) && s.frozen[node]
+}
 
 // ApplyFeedback performs vertical scaling from a completed attempt's
 // productivity. Growth is self-clocking: only attempts launched at (or
@@ -50,7 +72,7 @@ func (s *Sizer) Frozen(node int) bool { return s.frozen[node] }
 // the paper's once-per-wave rule generalized to nodes with many
 // concurrent containers.
 func (s *Sizer) ApplyFeedback(node, taskBUs int, productivity float64) {
-	if s.frozen[node] || taskBUs < s.SizeUnit(node) {
+	if node < 0 || s.Frozen(node) || taskBUs < s.SizeUnit(node) {
 		return
 	}
 	u := s.SizeUnit(node)
@@ -60,13 +82,19 @@ func (s *Sizer) ApplyFeedback(node, taskBUs int, productivity float64) {
 	case productivity < LinearLimit:
 		u++
 	default:
+		s.grow(node)
 		s.frozen[node] = true
+		s.epoch++
 		return
 	}
 	if u > s.MaxBUs {
 		u = s.MaxBUs
 	}
-	s.units[node] = u
+	s.grow(node)
+	if s.units[node] != u {
+		s.units[node] = u
+		s.epoch++
+	}
 }
 
 // TaskSize performs horizontal scaling: m_i = s_i × relSpeed rounded to

@@ -28,15 +28,33 @@ const ipsWindow = 5
 // every node starts with — still inform the estimate.
 type SpeedMonitor struct {
 	driver  *engine.Driver
-	samples map[cluster.NodeID]*ipsRing // recent round samples per node
+	samples []ipsRing // recent round samples, indexed by dense NodeID
 	ticker  *sim.Ticker
+
+	// epoch increments whenever any node's window changes (push or
+	// reset). RelativeSpeeds/NormalizedCapacities are pure functions of
+	// the windows, so their results are memoized on it: per-offer callers
+	// between heartbeats hit the cache and the hot path costs one
+	// comparison instead of an O(n) recompute.
+	epoch    uint64
+	relAt    uint64 // epoch the relBuf cache was computed at
+	capAt    uint64 // epoch the capBuf cache was computed at
+	relValid bool
+	capValid bool
 
 	// Reused result buffers for RelativeSpeeds/NormalizedCapacities and a
 	// scratch slice of raw speeds. Every cluster node's key is overwritten
-	// on every call, so stale entries can never leak between calls.
+	// on every recompute, so stale entries can never leak between calls.
 	relBuf  map[cluster.NodeID]float64
 	capBuf  map[cluster.NodeID]float64
 	scratch []float64
+
+	// Heartbeat-sweep scratch: roundBuf holds each node's round sample
+	// (negative = no report) written by the per-shard phase; sweepBufs
+	// gives each shard a private attempt buffer so the parallel phase
+	// allocates nothing and shares nothing.
+	roundBuf  []float64
+	sweepBufs [][]*engine.MapAttempt
 }
 
 // ipsRing is a fixed-capacity ring of the last ipsWindow IPS samples.
@@ -79,7 +97,7 @@ func (r *ipsRing) mean() float64 {
 func NewSpeedMonitor(d *engine.Driver) *SpeedMonitor {
 	m := &SpeedMonitor{
 		driver:  d,
-		samples: make(map[cluster.NodeID]*ipsRing, d.Cluster.Size()),
+		samples: make([]ipsRing, d.Cluster.Size()),
 	}
 	m.ticker = sim.NewTicker(d.Eng, HeartbeatPeriod, "heartbeat", m.round)
 	d.OnFinished(m.Stop)
@@ -89,32 +107,62 @@ func NewSpeedMonitor(d *engine.Driver) *SpeedMonitor {
 // Stop halts the heartbeat ticker.
 func (m *SpeedMonitor) Stop() { m.ticker.Stop() }
 
-// round collects one heartbeat round of IPS reports.
+// round collects one heartbeat round of IPS reports. It is one batched
+// timer event sweeping every node, split in two phases: a parallel
+// read-only phase where each event-queue shard samples its contiguous
+// node block into roundBuf, and a serial phase applying the samples (and
+// trace emission) in node order. The parallel phase reads driver/attempt
+// state but writes only to this shard's roundBuf block and private
+// scratch, so the sweep is race-free and — because application order is
+// node order regardless of shard count — byte-identical to the serial
+// per-node loop it replaced (see DESIGN.md §13).
 func (m *SpeedMonitor) round(now sim.Time) {
-	for _, n := range m.driver.Cluster.Nodes {
-		attempts := m.driver.RunningMapsOn(n.ID)
-		if len(attempts) == 0 {
+	nodes := m.driver.Cluster.Nodes
+	n := len(nodes)
+	eng := m.driver.Eng
+	k := eng.Shards()
+	if cap(m.roundBuf) < n {
+		m.roundBuf = make([]float64, n)
+	}
+	buf := m.roundBuf[:n]
+	if len(m.sweepBufs) < k {
+		m.sweepBufs = make([][]*engine.MapAttempt, k)
+	}
+	eng.Fork(func(shard int) {
+		scratch := m.sweepBufs[shard]
+		for i := shard * n / k; i < (shard+1)*n/k; i++ {
+			buf[i] = -1
+			scratch = m.driver.RunningMapsInto(nodes[i].ID, scratch[:0])
+			if len(scratch) == 0 {
+				continue
+			}
+			var sum float64
+			reports := 0
+			for _, a := range scratch {
+				if remoteHeavy(a) {
+					continue
+				}
+				elapsed := float64(now - a.Start)
+				if elapsed <= 0 {
+					continue
+				}
+				sum += float64(a.ProcessedBytes(now)) / elapsed
+				reports++
+			}
+			if reports > 0 {
+				buf[i] = sum / float64(reports)
+			}
+		}
+		m.sweepBufs[shard] = scratch
+	})
+	tr := m.driver.Trace
+	for i, node := range nodes {
+		if buf[i] < 0 {
 			continue
 		}
-		var sum float64
-		reports := 0
-		for _, a := range attempts {
-			if remoteHeavy(a) {
-				continue
-			}
-			elapsed := float64(now - a.Start)
-			if elapsed <= 0 {
-				continue
-			}
-			sum += float64(a.ProcessedBytes(now)) / elapsed
-			reports++
-		}
-		if reports > 0 {
-			sample := sum / float64(reports)
-			m.push(n.ID, sample)
-			if tr := m.driver.Trace; tr.Enabled() {
-				tr.Heartbeat(n.ID, sample, m.GetSpeed(n.ID), false)
-			}
+		m.push(node.ID, buf[i])
+		if tr.Enabled() {
+			tr.Heartbeat(node.ID, buf[i], m.GetSpeed(node.ID), false)
 		}
 	}
 }
@@ -147,12 +195,13 @@ func remoteHeavy(a *engine.MapAttempt) bool {
 }
 
 func (m *SpeedMonitor) push(id cluster.NodeID, ips float64) {
-	r := m.samples[id]
-	if r == nil {
-		r = &ipsRing{}
-		m.samples[id] = r
+	if int(id) >= len(m.samples) {
+		grown := make([]ipsRing, int(id)+1)
+		copy(grown, m.samples)
+		m.samples = grown
 	}
-	r.push(ips)
+	m.samples[id].push(ips)
+	m.epoch++
 }
 
 // ResetNode clears a node's IPS window. Called when a node rejoins after
@@ -160,17 +209,26 @@ func (m *SpeedMonitor) push(id cluster.NodeID, ips float64) {
 // exists (cold caches, restarted daemons), and stale speeds would
 // mis-size the first post-rejoin tasks.
 func (m *SpeedMonitor) ResetNode(id cluster.NodeID) {
-	delete(m.samples, id)
+	if int(id) < 0 || int(id) >= len(m.samples) {
+		return
+	}
+	m.samples[id] = ipsRing{}
+	m.epoch++
 }
 
 // GetSpeed returns the node's estimated IPS in bytes/second, or 0 when no
 // report has arrived yet.
 func (m *SpeedMonitor) GetSpeed(id cluster.NodeID) float64 {
-	if r := m.samples[id]; r != nil {
-		return r.mean()
+	if int(id) < 0 || int(id) >= len(m.samples) {
+		return 0
 	}
-	return 0
+	return m.samples[id].mean()
 }
+
+// Epoch returns the monitor's sample epoch: it increments on every window
+// change, so a speed-derived cache keyed on it is valid exactly while no
+// new IPS report has arrived.
+func (m *SpeedMonitor) Epoch() uint64 { return m.epoch }
 
 // speeds fills the scratch slice with each node's current IPS, positions
 // matching Cluster.Nodes.
@@ -194,6 +252,10 @@ func (m *SpeedMonitor) speeds() []float64 {
 // The returned map is owned by the monitor and reused: it is valid until
 // the next RelativeSpeeds call. Callers must not retain it.
 func (m *SpeedMonitor) RelativeSpeeds() map[cluster.NodeID]float64 {
+	if m.relValid && m.relAt == m.epoch {
+		return m.relBuf
+	}
+	m.relValid, m.relAt = true, m.epoch
 	nodes := m.driver.Cluster.Nodes
 	sp := m.speeds()
 	slowest := 0.0
@@ -222,6 +284,10 @@ func (m *SpeedMonitor) RelativeSpeeds() map[cluster.NodeID]float64 {
 // Like RelativeSpeeds, the returned map is a reused buffer valid until
 // the next NormalizedCapacities call.
 func (m *SpeedMonitor) NormalizedCapacities() map[cluster.NodeID]float64 {
+	if m.capValid && m.capAt == m.epoch {
+		return m.capBuf
+	}
+	m.capValid, m.capAt = true, m.epoch
 	nodes := m.driver.Cluster.Nodes
 	sp := m.speeds()
 	fastest := 0.0

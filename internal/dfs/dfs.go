@@ -158,19 +158,31 @@ func (s *Store) pickReplicaNodes() []cluster.NodeID {
 		load int
 		tie  int64
 	}
-	cands := make([]cand, 0, s.cluster.Size())
+	// One scan keeping the `replication` best (load, tie) pairs — a full
+	// sort of the fleet per BU is O(n log n) and dominated 10k-node setup.
+	// Every node still draws a tie value, so the random stream (and with
+	// it every downstream placement) matches the old sorted version.
+	best := make([]cand, 0, s.replication)
 	for _, n := range s.cluster.Nodes {
-		cands = append(cands, cand{n.ID, s.nodeLoad[n.ID], s.rng.Int63()})
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].load != cands[j].load {
-			return cands[i].load < cands[j].load
+		c := cand{n.ID, s.nodeLoad[n.ID], s.rng.Int63()}
+		if len(best) == s.replication {
+			w := best[len(best)-1]
+			if c.load > w.load || (c.load == w.load && c.tie >= w.tie) {
+				continue
+			}
+			best = best[:len(best)-1]
 		}
-		return cands[i].tie < cands[j].tie
-	})
+		i := len(best)
+		for i > 0 && (c.load < best[i-1].load || (c.load == best[i-1].load && c.tie < best[i-1].tie)) {
+			i--
+		}
+		best = append(best, cand{})
+		copy(best[i+1:], best[i:])
+		best[i] = c
+	}
 	out := make([]cluster.NodeID, s.replication)
 	for i := range out {
-		out[i] = cands[i].id
+		out[i] = best[i].id
 	}
 	return out
 }

@@ -67,8 +67,13 @@ type Driver struct {
 
 	Result *mr.JobResult
 
-	running     map[cluster.NodeID]map[*MapAttempt]bool
-	interByNode map[cluster.NodeID]int64
+	// Per-node hot state is struct-of-arrays: flat slices indexed by the
+	// dense NodeID, so 10k-node heartbeat sweeps walk contiguous memory.
+	// running slices are kept ordered by Task (insertion sort on arrival;
+	// in-place shift on removal), which makes RunningMapsInto a straight
+	// copy with no per-call sort or allocation.
+	running     [][]*MapAttempt
+	interByNode []int64
 	totalInter  int64
 	partitions  []map[string][]string // live intermediate data per reducer
 
@@ -134,8 +139,8 @@ func NewDriver(eng *sim.Engine, c *cluster.Cluster, store *dfs.Store, rm *yarn.R
 			Submitted:           eng.Now(),
 			AvailableContainers: c.TotalSlots(),
 		},
-		running:        make(map[cluster.NodeID]map[*MapAttempt]bool),
-		interByNode:    make(map[cluster.NodeID]int64),
+		running:        make([][]*MapAttempt, c.Size()),
+		interByNode:    make([]int64, c.Size()),
 		crashedPending: make(map[cluster.NodeID][]*MapAttempt),
 		crashedReduces: make(map[cluster.NodeID][]int),
 		residentOutput: make(map[cluster.NodeID][]dfs.BUID),
@@ -143,9 +148,6 @@ func NewDriver(eng *sim.Engine, c *cluster.Cluster, store *dfs.Store, rm *yarn.R
 		buCommits:      make(map[dfs.BUID]int),
 		reduceActive:   make(map[cluster.NodeID]int),
 		runningReduce:  make(map[cluster.NodeID][]*reduceRun),
-	}
-	for _, n := range c.Nodes {
-		d.running[n.ID] = make(map[*MapAttempt]bool)
 	}
 	if spec.NumReducers > 0 {
 		d.partitions = make([]map[string][]string, spec.NumReducers)
@@ -255,20 +257,20 @@ func (d *Driver) LaunchMap(l MapLaunch) *MapAttempt {
 		d.mapPhaseStarted = true
 		d.Result.MapPhaseStart = d.Eng.Now()
 	}
-	d.running[l.Node.ID][a] = true
+	d.addRunning(l.Node.ID, a)
 	d.Trace.MapDispatch(l.Task, l.Node.ID, l.Wave, len(l.BUs), l.LocalBUs, a.Bytes, remote, l.Speculative)
 
 	a.fetchDur = sim.Duration(float64(remote) / (d.Cluster.NetBW * float64(MB)))
 	a.phase = phaseOverhead
 	a.phaseEndsAt = d.Eng.Now() + sim.Time(d.Cost.Overhead())
-	a.phaseEv = d.Eng.After(d.Cost.Overhead(), "map-overhead", func() { a.beginFetch() })
+	a.phaseEv = d.Eng.AfterShard(d.Exec.ShardFor(l.Node.ID), d.Cost.Overhead(), "map-overhead", func() { a.beginFetch() })
 	return a
 }
 
 func (a *MapAttempt) beginFetch() {
 	a.phase = phaseFetch
 	a.phaseEndsAt = a.d.Eng.Now() + sim.Time(a.fetchDur)
-	a.phaseEv = a.d.Eng.After(a.fetchDur, "map-fetch", func() { a.beginCompute() })
+	a.phaseEv = a.d.Eng.AfterShard(a.d.Exec.ShardFor(a.Node.ID), a.fetchDur, "map-fetch", func() { a.beginCompute() })
 }
 
 func (a *MapAttempt) beginCompute() {
@@ -299,7 +301,7 @@ func (d *Driver) drawNoise() float64 {
 func (a *MapAttempt) complete() {
 	a.phase = phaseDone
 	now := a.d.Eng.Now()
-	delete(a.d.running[a.Node.ID], a)
+	a.d.removeRunning(a.Node.ID, a)
 	a.d.Result.Attempts = append(a.d.Result.Attempts, mr.AttemptRecord{
 		Task:        a.Task,
 		Type:        mr.MapTask,
@@ -417,7 +419,7 @@ func (a *MapAttempt) kill(crashed bool) bool {
 	} else if a.phase == phaseFetch {
 		effective = a.fetchDur - sim.Duration(a.phaseEndsAt-now)
 	}
-	delete(a.d.running[a.Node.ID], a)
+	a.d.removeRunning(a.Node.ID, a)
 	a.d.Result.Attempts = append(a.d.Result.Attempts, mr.AttemptRecord{
 		Task:        a.Task,
 		Type:        mr.MapTask,
@@ -509,30 +511,74 @@ func (a *MapAttempt) SplitBUs(now sim.Time) (done, remaining []dfs.BUID) {
 	return a.BUs, nil
 }
 
-// RunningMapsOn returns the map attempts currently executing on a node.
-func (d *Driver) RunningMapsOn(id cluster.NodeID) []*MapAttempt {
-	out := make([]*MapAttempt, 0, len(d.running[id]))
-	for a := range d.running[id] {
-		out = append(out, a)
+// addRunning inserts a into the node's running slice, keeping it ordered
+// by Task. Lists are at most a few slots long, so the insertion shift is
+// a handful of pointer moves; once warm the append reuses capacity and
+// allocates nothing.
+func (d *Driver) addRunning(id cluster.NodeID, a *MapAttempt) {
+	s := append(d.running[id], a)
+	i := len(s) - 1
+	for i > 0 && s[i-1].Task > a.Task {
+		s[i] = s[i-1]
+		i--
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	s[i] = a
+	d.running[id] = s
+}
+
+// removeRunning deletes a from the node's running slice in place,
+// preserving Task order.
+func (d *Driver) removeRunning(id cluster.NodeID, a *MapAttempt) {
+	s := d.running[id]
+	for i, cand := range s {
+		if cand == a {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			d.running[id] = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// RunningMapsOn returns the map attempts currently executing on a node,
+// ordered by task ID. The result is a fresh slice the caller may keep.
+func (d *Driver) RunningMapsOn(id cluster.NodeID) []*MapAttempt {
+	if int(id) < 0 || int(id) >= len(d.running) {
+		return nil
+	}
+	out := make([]*MapAttempt, len(d.running[id]))
+	copy(out, d.running[id])
 	return out
+}
+
+// RunningMapsInto appends the node's running map attempts (ordered by
+// task ID) to buf and returns the extended slice — the allocation-free
+// variant the heartbeat sweep uses. The appended pointers alias live
+// driver state; callers must not retain them across events.
+func (d *Driver) RunningMapsInto(id cluster.NodeID, buf []*MapAttempt) []*MapAttempt {
+	if int(id) < 0 || int(id) >= len(d.running) {
+		return buf
+	}
+	return append(buf, d.running[id]...)
 }
 
 // AllRunningMaps returns every in-flight map attempt, ordered by task ID.
 func (d *Driver) AllRunningMaps() []*MapAttempt {
 	var out []*MapAttempt
-	for _, set := range d.running {
-		for a := range set {
-			out = append(out, a)
-		}
+	for _, s := range d.running {
+		out = append(out, s...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
 	return out
 }
 
 // IntermediateOn returns intermediate bytes resident on a node.
-func (d *Driver) IntermediateOn(id cluster.NodeID) int64 { return d.interByNode[id] }
+func (d *Driver) IntermediateOn(id cluster.NodeID) int64 {
+	if int(id) < 0 || int(id) >= len(d.interByNode) {
+		return 0
+	}
+	return d.interByNode[id]
+}
 
 // TotalIntermediate returns total shuffle volume produced so far.
 func (d *Driver) TotalIntermediate() int64 { return d.totalInter }

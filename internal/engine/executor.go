@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"flexmap/internal/cluster"
 	"flexmap/internal/sim"
@@ -51,9 +50,10 @@ func (w *Work) sync(now sim.Time) {
 	w.lastSync = now
 }
 
-// plan (re)schedules the completion event from the current state.
-// Canceling a handle whose event already fired or was never scheduled is
-// a no-op, so no pending-state bookkeeping is needed.
+// plan (re)schedules the completion event from the current state, on the
+// owning node's queue shard. Canceling a handle whose event already fired
+// or was never scheduled is a no-op, so no pending-state bookkeeping is
+// needed.
 func (w *Work) plan(eng *sim.Engine) {
 	eng.Cancel(w.ev)
 	if w.finished || w.canceled {
@@ -64,7 +64,7 @@ func (w *Work) plan(eng *sim.Engine) {
 		panic(fmt.Sprintf("engine: work on node %d has non-positive rate %v", w.node.ID, w.rate))
 	}
 	d := sim.Duration(remaining / w.rate)
-	w.ev = eng.After(d, "work-done", func() {
+	w.ev = eng.AfterShard(w.exec.ShardFor(w.node.ID), d, "work-done", func() {
 		w.sync(eng.Now())
 		w.finished = true
 		w.exec.detach(w)
@@ -75,11 +75,18 @@ func (w *Work) plan(eng *sim.Engine) {
 // Executor runs Works on cluster nodes with dynamic speeds. It registers
 // one speed-change listener per node and re-plans all of that node's
 // running works when its speed changes.
+//
+// Per-node state is struct-of-arrays: running works live in flat slices
+// indexed by the dense NodeID, kept in creation (seq) order — appends go
+// at the tail because seq is monotonic and removal shifts in place — so
+// re-planning after a speed change walks the slice directly with no sort
+// and no allocation.
 type Executor struct {
 	eng     *sim.Engine
 	baseIPS float64
 	nextSeq uint64
-	running map[cluster.NodeID]map[*Work]bool
+	running [][]*Work // per node, ascending Work.seq
+	shardOf []int32   // node index → event-queue shard
 }
 
 // NewExecutor wires an executor to every node of the cluster.
@@ -87,27 +94,34 @@ func NewExecutor(eng *sim.Engine, c *cluster.Cluster, baseIPS float64) *Executor
 	x := &Executor{
 		eng:     eng,
 		baseIPS: baseIPS,
-		running: make(map[cluster.NodeID]map[*Work]bool, c.Size()),
+		running: make([][]*Work, c.Size()),
+		shardOf: make([]int32, c.Size()),
 	}
-	for _, n := range c.Nodes {
-		x.running[n.ID] = make(map[*Work]bool)
+	for i, n := range c.Nodes {
+		x.shardOf[i] = int32(eng.ShardOf(i, c.Size()))
 		n.OnSpeedChange(x.onSpeedChange)
 	}
 	return x
+}
+
+// ShardFor returns the event-queue shard owning a node's per-node events.
+// The assignment is the contiguous-block partition of sim.Engine.ShardOf,
+// precomputed once per cluster.
+func (x *Executor) ShardFor(id cluster.NodeID) int {
+	if int(id) < 0 || int(id) >= len(x.shardOf) {
+		return 0
+	}
+	return int(x.shardOf[id])
 }
 
 func (x *Executor) onSpeedChange(n *cluster.Node) {
 	now := x.eng.Now()
 	// Re-plan in creation order: plan() re-enqueues each completion
 	// event, and the sim queue breaks same-timestamp ties by insertion
-	// sequence — map iteration order here would otherwise decide which
-	// of two works finishing at the same instant completes first.
-	works := make([]*Work, 0, len(x.running[n.ID]))
-	for w := range x.running[n.ID] {
-		works = append(works, w)
-	}
-	sort.Slice(works, func(i, j int) bool { return works[i].seq < works[j].seq })
-	for _, w := range works {
+	// sequence. The per-node slice is maintained in seq order, so
+	// iterating it directly preserves the deterministic order the former
+	// map-collect-and-sort produced.
+	for _, w := range x.running[n.ID] {
 		w.sync(now)
 		w.rate = x.rateOn(n)
 		w.plan(x.eng)
@@ -134,7 +148,7 @@ func (x *Executor) Start(n *cluster.Node, units float64, onDone func()) *Work {
 		onDone:   onDone,
 		exec:     x,
 	}
-	x.running[n.ID][w] = true
+	x.running[n.ID] = append(x.running[n.ID], w)
 	w.plan(x.eng)
 	return w
 }
@@ -151,9 +165,23 @@ func (x *Executor) Cancel(w *Work) {
 	x.detach(w)
 }
 
+// detach removes w from its node's running slice, preserving seq order.
 func (x *Executor) detach(w *Work) {
-	delete(x.running[w.node.ID], w)
+	s := x.running[w.node.ID]
+	for i, cand := range s {
+		if cand == w {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = nil
+			x.running[w.node.ID] = s[:len(s)-1]
+			return
+		}
+	}
 }
 
 // RunningOn returns the number of works currently executing on a node.
-func (x *Executor) RunningOn(id cluster.NodeID) int { return len(x.running[id]) }
+func (x *Executor) RunningOn(id cluster.NodeID) int {
+	if int(id) < 0 || int(id) >= len(x.running) {
+		return 0
+	}
+	return len(x.running[id])
+}

@@ -86,7 +86,7 @@ func TestPartitionOfStable(t *testing.T) {
 // fixedPolicy speculates the first candidate unconditionally.
 type fixedPolicy struct{ picks int }
 
-func (p *fixedPolicy) Pick(d *Driver, node *cluster.Node, candidates []*MapAttempt, activeSpec int) *MapAttempt {
+func (p *fixedPolicy) Pick(d *Driver, node *cluster.Node, candidates []*MapAttempt, candEpoch uint64, activeSpec int) *MapAttempt {
 	if len(candidates) == 0 || activeSpec > 0 {
 		return nil
 	}

@@ -15,8 +15,11 @@ import (
 type SpeculationPolicy interface {
 	// Pick returns the attempt to duplicate on node, or nil. candidates
 	// are running, non-speculative attempts whose task has no live copy
-	// yet. activeSpec is the number of speculative attempts in flight.
-	Pick(d *Driver, node *cluster.Node, candidates []*MapAttempt, activeSpec int) *MapAttempt
+	// yet; candEpoch identifies the candidate-set version — it changes
+	// whenever the slice's contents (or any candidate's liveness) may
+	// have, so policies can cache per (now, candEpoch). activeSpec is the
+	// number of speculative attempts in flight.
+	Pick(d *Driver, node *cluster.Node, candidates []*MapAttempt, candEpoch uint64, activeSpec int) *MapAttempt
 }
 
 // PendingSplit is a map task waiting for dispatch. Stock splits come from
@@ -45,16 +48,35 @@ type StockAM struct {
 	Speculation SpeculationPolicy
 
 	d       *Driver
-	pending []PendingSplit
+	pending pendingQueue
 	// attempts tracks live attempts per task; completed tasks are removed.
 	attempts  map[string][]*MapAttempt
 	completed map[string]bool
 	// tasksRemaining counts tasks not yet completed (grows when SkewTune
 	// splits a task into subtasks).
-	tasksRemaining  int
-	waveByNode      map[cluster.NodeID]int
-	remoteAllowedAt map[cluster.NodeID]sim.Time
+	tasksRemaining int
+	// waveByNode and remoteAllowedAt are flat per-node slices indexed by
+	// the dense NodeID (remoteAllowedAt < 0 means no locality-wait timer
+	// is armed for the node).
+	waveByNode      []int
+	remoteAllowedAt []sim.Time
 	activeSpec      int
+
+	// Speculation-candidate cache: the launch-ordered list of sole-attempt
+	// tasks, rebuilt only when attempt state moves (attemptEpoch bumps).
+	// Offers greatly outnumber attempt-state changes, and rebuilding the
+	// list per declined offer used to dominate stock-engine runs.
+	// candOrder is the master list: every original (non-speculative)
+	// attempt in launch order — deterministic, because launches happen
+	// inside serially fired events — compacted lazily as attempts retire.
+	// Policies must treat the candidate slice as a set; LATE's victim is
+	// the unique below-threshold straggler with the longest estimated
+	// remaining time, so candidate order never reaches the outcome.
+	attemptEpoch uint64
+	candOrder    []*MapAttempt
+	candBuf      []*MapAttempt
+	candAt       uint64
+	candValid    bool
 
 	// MaxTaskAttempts bounds executions of one task (Hadoop's
 	// mapreduce.map.maxattempts, default 4): the job fails when a task
@@ -89,23 +111,25 @@ func NewStockAM(d *Driver, splitBUs int, speculation SpeculationPolicy) (*StockA
 		d:               d,
 		attempts:        make(map[string][]*MapAttempt),
 		completed:       make(map[string]bool),
-		waveByNode:      make(map[cluster.NodeID]int),
-		remoteAllowedAt: make(map[cluster.NodeID]sim.Time),
+		waveByNode:      make([]int, d.Cluster.Size()),
+		remoteAllowedAt: make([]sim.Time, d.Cluster.Size()),
 		splitByTask:     make(map[string]PendingSplit),
 		taskOfBU:        make(map[dfs.BUID]string),
 		retries:         make(map[string]int),
 	}
+	for i := range am.remoteAllowedAt {
+		am.remoteAllowedAt[i] = -1
+	}
 	for _, sp := range splits {
-		am.pending = append(am.pending, PendingSplit{
+		p := PendingSplit{
 			Task:  fmt.Sprintf("map-%04d", sp.Index),
 			BUs:   sp.BUs,
 			Hosts: sp.Hosts,
-		})
-	}
-	am.tasksRemaining = len(am.pending)
-	for _, p := range am.pending {
+		}
+		am.pending.add(p)
 		am.indexSplit(p)
 	}
+	am.tasksRemaining = am.pending.Len()
 	d.Result.Engine = am.Name
 	d.Register(am)
 	d.SetRecovery(am)
@@ -124,7 +148,7 @@ func (am *StockAM) indexSplit(p PendingSplit) {
 func (am *StockAM) Driver() *Driver { return am.d }
 
 // PendingCount returns the number of undispatched map tasks.
-func (am *StockAM) PendingCount() int { return len(am.pending) }
+func (am *StockAM) PendingCount() int { return am.pending.Len() }
 
 // TasksRemaining returns the number of incomplete map tasks.
 func (am *StockAM) TasksRemaining() int { return am.tasksRemaining }
@@ -133,7 +157,7 @@ func (am *StockAM) TasksRemaining() int { return am.tasksRemaining }
 // the outstanding-task count by delta (subtasks add new tasks; the
 // repartitioned original never completes).
 func (am *StockAM) AddPending(p PendingSplit, delta int) {
-	am.pending = append(am.pending, p)
+	am.pending.add(p)
 	am.tasksRemaining += delta
 	am.indexSplit(p)
 	am.d.RM.Poke()
@@ -151,45 +175,31 @@ func (am *StockAM) OnSlotFree(node *cluster.Node) bool {
 // pending split first, a remote split after the locality wait, then a
 // speculative copy if the policy approves.
 func (am *StockAM) TryDispatch(node *cluster.Node) bool {
-	if idx := am.findLocal(node.ID); idx >= 0 {
-		am.launchPending(node, idx)
+	if p, ok := am.pending.takeLocal(node.ID); ok {
+		am.launchPending(node, p)
 		return true
 	}
-	if len(am.pending) > 0 {
+	if am.pending.Len() > 0 {
 		now := am.d.Eng.Now()
-		allowed, ok := am.remoteAllowedAt[node.ID]
-		if !ok {
+		if allowed := am.remoteAllowedAt[node.ID]; allowed < 0 {
 			// First miss: start the locality-wait timer and re-offer later.
 			am.remoteAllowedAt[node.ID] = now + sim.Time(am.LocalityWait)
 			am.d.Eng.After(am.LocalityWait, "locality-wait", func() { am.d.RM.Poke() })
 			return false
-		}
-		if now < allowed {
+		} else if now < allowed {
 			return false
 		}
-		am.launchPending(node, 0) // FIFO remote pick
+		p, _ := am.pending.takeFIFO() // FIFO remote pick; Len()>0 guarantees ok
+		am.launchPending(node, p)
 		return true
 	}
 	return am.trySpeculate(node)
 }
 
-func (am *StockAM) findLocal(id cluster.NodeID) int {
-	for i, p := range am.pending {
-		for _, h := range p.Hosts {
-			if h == id {
-				return i
-			}
-		}
-	}
-	return -1
-}
-
-func (am *StockAM) launchPending(node *cluster.Node, idx int) {
-	p := am.pending[idx]
-	am.pending = append(am.pending[:idx], am.pending[idx+1:]...)
+func (am *StockAM) launchPending(node *cluster.Node, p PendingSplit) {
 	// Reset the node's locality wait: delay scheduling re-waits per task
 	// assignment, whether this launch was local or (timed-out) remote.
-	delete(am.remoteAllowedAt, node.ID)
+	am.remoteAllowedAt[node.ID] = -1
 	am.launch(node, p, false)
 }
 
@@ -229,6 +239,10 @@ func (am *StockAM) launch(node *cluster.Node, p PendingSplit, speculative bool) 
 		OnDone:          am.onMapDone,
 	})
 	am.attempts[p.Task] = append(am.attempts[p.Task], a)
+	if !speculative {
+		am.candOrder = append(am.candOrder, a)
+	}
+	am.attemptEpoch++
 }
 
 func (am *StockAM) onMapDone(a *MapAttempt) {
@@ -240,6 +254,7 @@ func (am *StockAM) onMapDone(a *MapAttempt) {
 		return // lost a photo-finish race; winner already committed
 	}
 	am.completed[a.Task] = true
+	am.attemptEpoch++
 	am.d.CommitOutput(a)
 	// Kill losing attempts of the same task.
 	for _, other := range am.attempts[a.Task] {
@@ -271,6 +286,7 @@ func (am *StockAM) KillTaskAttempts(task string) []*MapAttempt {
 		}
 	}
 	delete(am.attempts, task)
+	am.attemptEpoch++
 	return killed
 }
 
@@ -301,11 +317,12 @@ func (am *StockAM) OnNodeLost(id cluster.NodeID, crashed []*MapAttempt, lostOutp
 			continue // already pending or running again; it will recommit
 		}
 		am.completed[task] = false
+		am.attemptEpoch++
 		am.tasksRemaining++
 		sp := am.splitByTask[task]
 		am.d.Result.TaskRetries++
 		am.d.Result.ReprocessedBytes += am.splitBytes(sp)
-		am.pending = append(am.pending, sp)
+		am.pending.add(sp)
 	}
 	// The driver pokes the RM after delivery.
 }
@@ -323,7 +340,7 @@ func (am *StockAM) OnPreempted(a *MapAttempt) {
 	sp := am.splitByTask[a.Task]
 	am.d.Result.TaskRetries++
 	am.d.Result.ReprocessedBytes += a.CrashProcessedBytes()
-	am.pending = append(am.pending, sp)
+	am.pending.add(sp)
 	am.d.RM.Poke()
 }
 
@@ -350,7 +367,7 @@ func (am *StockAM) requeueWithBackoff(task string, waste int64) {
 		if am.d.Finished() || am.completed[task] {
 			return
 		}
-		am.pending = append(am.pending, sp)
+		am.pending.add(sp)
 		am.d.RM.Poke()
 	})
 }
@@ -369,6 +386,7 @@ func (am *StockAM) dropAttempt(a *MapAttempt) {
 	} else {
 		am.attempts[a.Task] = list
 	}
+	am.attemptEpoch++
 }
 
 // ownersOf maps lost output BUs to their owning tasks, deduplicated and
@@ -406,18 +424,31 @@ func (am *StockAM) trySpeculate(node *cluster.Node) bool {
 	if am.Speculation == nil {
 		return false
 	}
-	var candidates []*MapAttempt
-	for task, list := range am.attempts {
-		if am.completed[task] || len(list) != 1 {
-			continue // already has a copy in flight
+	if !am.candValid || am.candAt != am.attemptEpoch {
+		am.candBuf = am.candBuf[:0]
+		keep := am.candOrder[:0]
+		for _, a := range am.candOrder {
+			list := am.attempts[a.Task]
+			alive := false
+			for _, o := range list {
+				if o == a {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				continue // finished or superseded; this pointer never returns
+			}
+			keep = append(keep, a)
+			if !am.completed[a.Task] && len(list) == 1 && !a.Killed() {
+				am.candBuf = append(am.candBuf, a)
+			}
 		}
-		a := list[0]
-		if !a.Speculative && !a.Killed() {
-			candidates = append(candidates, a)
-		}
+		am.candOrder = keep
+		am.candValid, am.candAt = true, am.attemptEpoch
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Task < candidates[j].Task })
-	victim := am.Speculation.Pick(am.d, node, candidates, am.activeSpec)
+	candidates := am.candBuf
+	victim := am.Speculation.Pick(am.d, node, candidates, am.attemptEpoch, am.activeSpec)
 	if victim == nil {
 		return false
 	}

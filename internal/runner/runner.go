@@ -112,9 +112,21 @@ type Scenario struct {
 	// or scheduling randomness.
 	Faults faults.Plan
 
+	// Shards is the event-queue shard count for the run (0 or 1 = one
+	// queue). Sharding partitions nodes across per-shard queues and
+	// parallelizes the heartbeat sweeps, but every output — fired-event
+	// sequence, traces, metrics, results — is byte-identical at any
+	// value; see sim.NewSharded.
+	Shards int
+
 	// MaxSimTime bounds the virtual clock (guard against scheduling
 	// bugs); default 30 days.
 	MaxSimTime sim.Time
+
+	// OnFire, when non-nil, observes every fired event as (time, name) —
+	// the hook the shard-equivalence tests use to assert the fired
+	// sequence is identical across shard counts.
+	OnFire func(sim.Time, string)
 
 	// Trace selects event tracing for the run (see internal/trace). The
 	// zero value attaches no tracer: the simulation pays a nil-check per
@@ -218,7 +230,10 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 		return nil, fmt.Errorf("runner: scenario %q has no input", sc.Name)
 	}
 
-	simEng := sim.New()
+	simEng := sim.NewSharded(sc.Shards)
+	if sc.OnFire != nil {
+		simEng.SetFireObserver(sc.OnFire)
+	}
 	clus, interferer := sc.Cluster()
 	rng := randutil.New(sc.Seed)
 

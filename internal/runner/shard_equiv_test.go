@@ -1,0 +1,249 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/dfs"
+	"flexmap/internal/faults"
+	"flexmap/internal/mr"
+	"flexmap/internal/sim"
+	"flexmap/internal/trace"
+	"flexmap/internal/workload"
+)
+
+// The shard-equivalence suite pins the tentpole invariant of the sharded
+// engine: every observable output of a run — the full fired-event
+// sequence, the JSONL trace bytes, and the Result — is byte-identical at
+// any shard count. Each cell runs the serial engine once as ground truth
+// and replays it sharded.
+
+// equivSpeeds cycles the paper testbed's four machine generations, as
+// flexbench does, so shard blocks span heterogeneous speeds.
+var equivSpeeds = []float64{1.0, 1.5, 2.4, 2.8}
+
+func equivCluster(n int) ClusterFactory {
+	return func() (*cluster.Cluster, cluster.Interferer) {
+		specs := make([]cluster.NodeSpec, n)
+		for i := range specs {
+			specs[i] = cluster.NodeSpec{
+				Name:      fmt.Sprintf("eq-%04d", i),
+				BaseSpeed: equivSpeeds[i%len(equivSpeeds)],
+				Slots:     2,
+			}
+		}
+		return cluster.NewCluster(fmt.Sprintf("equiv-%d", n), specs), nil
+	}
+}
+
+// firing is one observed event dispatch.
+type firing struct {
+	at   sim.Time
+	name string
+}
+
+// runEquivCell runs one scenario at the given shard count, capturing
+// the fired sequence and trace bytes alongside the result.
+func runEquivCell(t *testing.T, sc Scenario, spec mr.JobSpec, eng Engine, shards int) ([]firing, []byte, *Result) {
+	t.Helper()
+	dir := t.TempDir()
+	sc.Shards = shards
+	sc.Trace.JSONLPath = filepath.Join(dir, "trace.jsonl")
+	var fired []firing
+	sc.OnFire = func(at sim.Time, name string) { fired = append(fired, firing{at, name}) }
+	res, err := Run(sc, spec, eng)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	raw, err := os.ReadFile(sc.Trace.JSONLPath)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return fired, raw, res
+}
+
+// diffFirings reports the first divergence between two fired sequences.
+func diffFirings(t *testing.T, label string, got, want []firing) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: fired %d events, serial fired %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if i >= len(got) {
+			return
+		}
+		if got[i] != want[i] {
+			t.Fatalf("%s: fired sequence diverges at event %d: got (%v, %s), want (%v, %s)",
+				label, i, got[i].at, got[i].name, want[i].at, want[i].name)
+		}
+	}
+}
+
+// compareResults asserts every comparable field of two run results is
+// identical (the cluster and tracer pointers are per-run objects).
+func compareResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.JobResult, want.JobResult) {
+		t.Errorf("%s: JobResult differs:\ngot  %+v\nwant %+v", label, got.JobResult, want.JobResult)
+	}
+	if !reflect.DeepEqual(got.SizeTrace, want.SizeTrace) {
+		t.Errorf("%s: SizeTrace differs (%d vs %d samples)", label, len(got.SizeTrace), len(want.SizeTrace))
+	}
+	if !reflect.DeepEqual(got.BUCommits, want.BUCommits) {
+		t.Errorf("%s: BUCommits differs", label)
+	}
+	if got.SimEvents != want.SimEvents {
+		t.Errorf("%s: SimEvents = %d, want %d", label, got.SimEvents, want.SimEvents)
+	}
+}
+
+// TestShardEquivalenceMatrix is the main grid: shard counts {2,4,8}
+// against the serial baseline, across seeds and cluster sizes, under
+// FlexMap (the engine exercising every batched path: speed monitor
+// sweeps, elastic sizing, biased reduce dispatch).
+func TestShardEquivalenceMatrix(t *testing.T) {
+	sizes := []int{50, 200, 2000}
+	if testing.Short() {
+		sizes = []int{50, 200}
+	}
+	for _, n := range sizes {
+		// Keep the virtual workload proportional to the cluster so big
+		// cells stay fast: 2 block units per node.
+		input := int64(n) * 2 * dfs.BUSize
+		spec, err := specForEquiv(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range []int64{0, 42, 7} {
+			t.Run(fmt.Sprintf("n%d/seed%d", n, seed), func(t *testing.T) {
+				sc := Scenario{
+					Name:      fmt.Sprintf("equiv-n%d", n),
+					Cluster:   equivCluster(n),
+					Seed:      seed,
+					InputSize: input,
+				}
+				eng := Engine{Kind: FlexMap}
+				wantF, wantT, wantR := runEquivCell(t, sc, spec, eng, 1)
+				for _, shards := range []int{2, 4, 8} {
+					label := fmt.Sprintf("shards=%d", shards)
+					gotF, gotT, gotR := runEquivCell(t, sc, spec, eng, shards)
+					diffFirings(t, label, gotF, wantF)
+					if string(gotT) != string(wantT) {
+						t.Errorf("%s: JSONL trace bytes differ (%d vs %d bytes)", label, len(gotT), len(wantT))
+					}
+					compareResults(t, label, gotR, wantR)
+				}
+			})
+		}
+	}
+}
+
+func specForEquiv(n int) (mr.JobSpec, error) {
+	reducers := n / 4
+	if reducers < 4 {
+		reducers = 4
+	}
+	spec := mr.JobSpec{
+		Name:         "equiv",
+		InputFile:    "input",
+		MapCost:      1,
+		ShuffleRatio: 0.3,
+		ReduceCost:   0.5,
+		NumReducers:  reducers,
+	}
+	return spec, spec.Validate()
+}
+
+// TestShardEquivalenceWithFaults reruns the grid's small cell with crash
+// injection under stock Hadoop: the node watcher's batched liveness
+// sweep, the injector, and recovery re-execution all ride the sharded
+// queues, and detection/retry timing must not move by a single event.
+func TestShardEquivalenceWithFaults(t *testing.T) {
+	spec, err := specForEquiv(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{0, 42, 7} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sc := Scenario{
+				Name:      "equiv-faults",
+				Cluster:   equivCluster(50),
+				Seed:      seed,
+				InputSize: 50 * 2 * dfs.BUSize,
+				Faults:    faults.Plan{CrashRate: 2},
+			}
+			eng := Engine{Kind: Hadoop}
+			wantF, wantT, wantR := runEquivCell(t, sc, spec, eng, 1)
+			for _, shards := range []int{2, 8} {
+				label := fmt.Sprintf("shards=%d", shards)
+				gotF, gotT, gotR := runEquivCell(t, sc, spec, eng, shards)
+				diffFirings(t, label, gotF, wantF)
+				if string(gotT) != string(wantT) {
+					t.Errorf("%s: JSONL trace bytes differ", label)
+				}
+				compareResults(t, label, gotR, wantR)
+			}
+		})
+	}
+}
+
+// TestWorkloadShardEquivalence covers the multi-job path: many drivers
+// sharing one sharded engine, fair-share arbitration, per-job tracers
+// interleaving into one stream.
+func TestWorkloadShardEquivalence(t *testing.T) {
+	spec, err := specForEquiv(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(shards int, path string) WorkloadScenario {
+		return WorkloadScenario{
+			Name:    "equiv-workload",
+			Cluster: equivCluster(20),
+			Seed:    42,
+			Pattern: workload.Pattern{Jobs: 16, Rate: 0.5},
+			Classes: []WorkloadClass{{
+				Name: "wc", Weight: 1,
+				MinBytes: 4 * dfs.BUSize, MaxBytes: 16 * dfs.BUSize,
+				Engine: Engine{Kind: FlexMap}, Spec: spec,
+			}},
+			Policy: "fair",
+			Shards: shards,
+			Trace:  trace.Options{JSONLPath: path},
+		}
+	}
+	dir := t.TempDir()
+	serialPath := filepath.Join(dir, "serial.jsonl")
+	want, err := RunWorkload(build(1, serialPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT, err := os.ReadFile(serialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 8} {
+		path := filepath.Join(dir, fmt.Sprintf("s%d.jsonl", shards))
+		got, err := RunWorkload(build(shards, path))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		gotT, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotT) != string(wantT) {
+			t.Errorf("shards=%d: JSONL trace bytes differ", shards)
+		}
+		if !reflect.DeepEqual(got.Jobs, want.Jobs) {
+			t.Errorf("shards=%d: per-job outcomes differ", shards)
+		}
+		if got.SimEvents != want.SimEvents || got.Span != want.Span ||
+			got.Utilization != want.Utilization || got.GoodputBytesPerSec != want.GoodputBytesPerSec {
+			t.Errorf("shards=%d: summary metrics differ: %+v vs %+v", shards, got, want)
+		}
+	}
+}

@@ -68,6 +68,9 @@ type WorkloadScenario struct {
 	// Faults injects seeded node crashes/slowdowns/preemptions shared
 	// by every concurrent job.
 	Faults faults.Plan
+	// Shards is the event-queue shard count (0 or 1 = one queue); every
+	// output is byte-identical at any value (see sim.NewSharded).
+	Shards int
 	// MaxSimTime bounds the virtual clock; default 30 days.
 	MaxSimTime sim.Time
 	// Trace selects event tracing; each job's events carry its job ID.
@@ -252,7 +255,7 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 		return nil, err
 	}
 
-	simEng := sim.New()
+	simEng := sim.NewSharded(sc.Shards)
 	clus, interferer := sc.Cluster()
 	rng := randutil.New(sc.Seed)
 	store := dfs.NewStore(clus, sc.Replication, rng.Split("placement"))

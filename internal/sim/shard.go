@@ -1,0 +1,94 @@
+// Sharded execution runtime. This file is the only place in the
+// deterministic core that spawns goroutines; it carries a scoped
+// exemption from the goroexit analyzer (see internal/analysis/goroexit.go
+// and DESIGN.md §13). The concurrency here is deliberately minimal:
+// Fork runs a caller-supplied function once per shard on short-lived
+// goroutines joined by a sync.WaitGroup before any simulation state is
+// mutated, so no scheduler-ordered decision can leak into the fired-event
+// sequence.
+package sim
+
+import "sync"
+
+// MaxShards bounds NewSharded's shard count. Shards beyond the number of
+// CPUs only shrink the per-heap size, so a small power-of-two cap is
+// plenty for 10k-node clusters.
+const MaxShards = 64
+
+// NewSharded returns a fresh engine whose event queue is partitioned into
+// k independent 4-ary heaps. k is clamped to [1, MaxShards]; NewSharded(1)
+// is exactly New(). Scheduling routes each event to one shard (At/After →
+// shard 0, AtShard/AfterShard → the given shard) and dispatch fires the
+// global (time, seq) minimum across shard heads, so the fired-event
+// sequence — and every downstream trace byte — is identical at any k.
+func NewSharded(k int) *Engine {
+	if k < 1 {
+		k = 1
+	}
+	if k > MaxShards {
+		k = MaxShards
+	}
+	return &Engine{shards: make([]shardHeap, k)}
+}
+
+// Shards returns the number of event-queue shards (≥ 1).
+func (e *Engine) Shards() int {
+	if len(e.shards) == 0 {
+		return 1
+	}
+	return len(e.shards)
+}
+
+// ShardOf maps index i of a dense ID space of size n (typically a node
+// index in a cluster of n nodes) to a shard, partitioning the space into
+// contiguous blocks: shard s owns indices [s·n/k, (s+1)·n/k) — exactly
+// the block a Fork sweep loop `for i := s*n/k; i < (s+1)*n/k; i++`
+// iterates, so event routing and sweep ownership always agree.
+// Out-of-range inputs map to a valid shard so callers need no special
+// cases.
+func (e *Engine) ShardOf(i, n int) int {
+	k := len(e.shards)
+	if k <= 1 || n <= 0 || i < 0 {
+		return 0
+	}
+	if i >= n {
+		return k - 1
+	}
+	// Inverse of the floor-block decomposition: the unique s with
+	// s*n/k ≤ i < (s+1)*n/k.
+	return ((i+1)*k - 1) / n
+}
+
+// Fork runs fn(shard) once for every shard and returns when all calls
+// have completed: fn(0) on the calling goroutine and the rest on fresh
+// goroutines joined by a WaitGroup. It is the sanctioned way to spread a
+// per-shard sweep (e.g. a heartbeat batch over the shard's nodes) across
+// cores between events.
+//
+// Determinism contract: fn must treat all simulation state as read-only
+// and must not touch the Engine (no At/After/Cancel — seq assignment must
+// stay serial). Each shard writes results only to its own pre-sized
+// buffers; the caller then applies them serially in shard-then-node order
+// after Fork returns — the same ordered-merge discipline as
+// internal/parallel's ordered results. Under that contract the WaitGroup
+// join is a full barrier and no goroutine-interleaving choice survives
+// into simulation state, which is why sweeps are byte-identical at any
+// shard count. The race-detector hammer tests in shard_race_test.go and
+// the equivalence battery in internal/runner enforce this.
+func (e *Engine) Fork(fn func(shard int)) {
+	k := len(e.shards)
+	if k <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k - 1)
+	for s := 1; s < k; s++ {
+		go func(shard int) {
+			defer wg.Done()
+			fn(shard)
+		}(s)
+	}
+	fn(0)
+	wg.Wait()
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"flexmap/internal/randutil"
+)
+
+// TestShardOfPartition pins the node→shard map: contiguous blocks, every
+// shard in range, monotonic over node index, and exactly matching the
+// s*n/k block boundaries the sweep loops iterate.
+func TestShardOfPartition(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 8, 64} {
+		for _, n := range []int{1, 2, 5, 50, 200, 2000} {
+			e := NewSharded(k)
+			prev := 0
+			counts := make([]int, e.Shards())
+			for i := 0; i < n; i++ {
+				s := e.ShardOf(i, n)
+				if s < 0 || s >= e.Shards() {
+					t.Fatalf("ShardOf(%d,%d) = %d out of range [0,%d)", i, n, s, e.Shards())
+				}
+				if s < prev {
+					t.Fatalf("ShardOf(%d,%d) = %d < previous %d: not contiguous", i, n, s, prev)
+				}
+				prev = s
+				counts[s]++
+			}
+			// Block boundaries: shard s owns [s*n/k, (s+1)*n/k) — the same
+			// arithmetic every Fork sweep uses to carve its range.
+			kk := e.Shards()
+			for s := 0; s < kk; s++ {
+				if want := (s+1)*n/kk - s*n/kk; counts[s] != want {
+					t.Fatalf("k=%d n=%d shard %d owns %d nodes, want %d", k, n, s, counts[s], want)
+				}
+			}
+		}
+	}
+}
+
+// TestForkCoversAllShards checks Fork invokes fn exactly once per shard,
+// with shard 0 on the calling goroutine.
+func TestForkCoversAllShards(t *testing.T) {
+	for _, k := range []int{1, 2, 8} {
+		e := NewSharded(k)
+		hits := make([]int, e.Shards())
+		e.Fork(func(shard int) { hits[shard]++ })
+		for s, h := range hits {
+			if h != 1 {
+				t.Fatalf("k=%d: shard %d ran %d times, want 1", k, s, h)
+			}
+		}
+	}
+}
+
+// firedRecord is one observed firing.
+type firedRecord struct {
+	at   Time
+	name string
+}
+
+// scheduleRandomLoad drives an engine with a randomized event load built
+// from rng: events land on random shards at times drawn from a small
+// discrete grid (forcing heavy same-timestamp collisions), and a
+// fraction of callbacks schedule more events — including onto other
+// shards — so the cross-shard merge sees dynamically growing queues.
+// Event names encode a schedule-order serial so the fired sequence
+// fully determines which event fired when.
+func scheduleRandomLoad(e *Engine, rng *randutil.Source, events int) {
+	serial := 0
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		shard := rng.Rand.Intn(e.Shards())
+		delay := Duration(rng.Rand.Intn(8)) // grid of 8 instants → collisions
+		name := fmt.Sprintf("ev-%04d", serial)
+		serial++
+		e.AfterShard(shard, delay, name, func() {
+			if depth > 0 && rng.Rand.Intn(2) == 0 {
+				spawn(depth - 1)
+				spawn(depth - 1)
+			}
+		})
+	}
+	for i := 0; i < events; i++ {
+		spawn(2)
+	}
+}
+
+// TestCrossShardMergeOrder is the merge property test: under random
+// interleavings with same-timestamp collisions, events fire exactly
+// once, in nondecreasing time, and same-instant events fire in schedule
+// (seq) order — globally, across shard boundaries.
+func TestCrossShardMergeOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, k := range []int{2, 4, 8} {
+			e := NewSharded(k)
+			var fired []firedRecord
+			e.SetFireObserver(func(at Time, name string) {
+				fired = append(fired, firedRecord{at, name})
+			})
+			scheduleRandomLoad(e, randutil.New(seed).Split("merge"), 50)
+			e.Run()
+
+			seen := map[string]bool{}
+			lastAt := Time(-1)
+			lastName := ""
+			for i, f := range fired {
+				if seen[f.name] {
+					t.Fatalf("seed=%d k=%d: event %s fired twice", seed, k, f.name)
+				}
+				seen[f.name] = true
+				if f.at < lastAt {
+					t.Fatalf("seed=%d k=%d: time went backwards at %d: %v after %v", seed, k, i, f.at, lastAt)
+				}
+				// Same-instant events must fire in schedule order. Serial
+				// names are assigned in schedule order, but an event
+				// scheduled later from a callback can share an instant with
+				// an earlier pre-scheduled one only if the callback ran at
+				// that instant — in which case its serial is still larger.
+				if f.at == lastAt && f.name <= lastName {
+					t.Fatalf("seed=%d k=%d: same-instant order violated at %d: %s after %s", seed, k, i, f.name, lastName)
+				}
+				lastAt, lastName = f.at, f.name
+			}
+			if e.Pending() != 0 {
+				t.Fatalf("seed=%d k=%d: %d events never fired", seed, k, e.Pending())
+			}
+		}
+	}
+}
+
+// TestShardCountInvariance replays one random load at every shard count
+// and requires the full fired sequence — times and names — to be
+// identical to the serial (1-shard) engine's.
+func TestShardCountInvariance(t *testing.T) {
+	record := func(k int, seed int64) []firedRecord {
+		e := NewSharded(k)
+		var fired []firedRecord
+		e.SetFireObserver(func(at Time, name string) {
+			fired = append(fired, firedRecord{at, name})
+		})
+		scheduleRandomLoad(e, randutil.New(seed).Split("merge"), 80)
+		e.Run()
+		return fired
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		want := record(1, seed)
+		for _, k := range []int{2, 4, 8, 64} {
+			got := record(k, seed)
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d k=%d: fired %d events, serial fired %d", seed, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed=%d k=%d: divergence at event %d: got %v, want %v", seed, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// FuzzMergeOrder drives the cross-shard merge from raw bytes: each pair
+// of input bytes is one event (shard, delay on a tiny grid), every
+// fourth event reschedules a child at its own instant. The invariants
+// are the merge contract: exactly-once, time-ordered, seq-ordered
+// within an instant, queue drained.
+func FuzzMergeOrder(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 2, 3, 3})
+	f.Add([]byte{7, 0, 0, 7, 3, 3, 3, 3, 1, 0})
+	f.Add([]byte{255, 254, 253, 0, 0, 0, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 512 {
+			return
+		}
+		e := NewSharded(8)
+		var fired []firedRecord
+		e.SetFireObserver(func(at Time, name string) {
+			fired = append(fired, firedRecord{at, name})
+		})
+		serial := 0
+		for i := 0; i+1 < len(data); i += 2 {
+			shard := int(data[i]) % e.Shards()
+			delay := Duration(data[i+1] % 5)
+			name := fmt.Sprintf("ev-%04d", serial)
+			serial++
+			child := fmt.Sprintf("ev-%04d-child", serial)
+			reschedule := serial%4 == 0
+			e.AfterShard(shard, delay, name, func() {
+				if reschedule {
+					e.AtShard((shard+1)%e.Shards(), e.Now(), child, func() {})
+				}
+			})
+		}
+		e.Run()
+		seen := map[string]bool{}
+		lastAt := Time(-1)
+		for i, rec := range fired {
+			if seen[rec.name] {
+				t.Fatalf("event %s fired twice", rec.name)
+			}
+			seen[rec.name] = true
+			if rec.at < lastAt {
+				t.Fatalf("time went backwards at firing %d", i)
+			}
+			lastAt = rec.at
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("%d events left pending after Run", e.Pending())
+		}
+	})
+}
+
+// TestForkRaceHammer exercises the Fork barrier under load — its real
+// value is under `go test -race`, where any unsynchronized access
+// between the per-shard sweep goroutines and the applying caller is a
+// hard failure. Each round mimics the two-phase sweep discipline: the
+// parallel phase writes only its own block of a shared scratch slice,
+// the serial phase reads all of it.
+func TestForkRaceHammer(t *testing.T) {
+	const n = 1024
+	e := NewSharded(8)
+	k := e.Shards()
+	buf := make([]int, n)
+	for round := 0; round < 200; round++ {
+		e.Fork(func(shard int) {
+			for i := shard * n / k; i < (shard+1)*n/k; i++ {
+				buf[i] = round + i
+			}
+		})
+		for i, v := range buf {
+			if v != round+i {
+				t.Fatalf("round %d: buf[%d] = %d, want %d", round, i, v, round+i)
+			}
+		}
+	}
+}

@@ -38,6 +38,34 @@ type LATE struct {
 	// MinAge is the minimum attempt age before its progress rate is
 	// considered meaningful (default 3 s, covering startup overhead).
 	MinAge sim.Duration
+
+	// Sorted cluster speeds, memoized on the cluster's speed epoch: node
+	// speeds only move on interference or fault transitions, while
+	// nodeIsSlow runs on every speculation probe.
+	speedsBuf   []float64
+	speedsAt    uint64
+	speedsValid bool
+	threshold   float64
+	uniform     bool
+
+	// Per-Pick scratch, reused across calls (one policy serves one AM).
+	mature []scoredAttempt
+	rates  []float64
+
+	// Victim memoized per (instant, candidate-set epoch): everything up to
+	// the final node-local freshness check depends only on the candidate
+	// set and the clock, and AMs probe every idle node at the same instant.
+	pickAt     sim.Time
+	pickEpoch  uint64
+	pickValid  bool
+	pickVictim *engine.MapAttempt
+	pickWorst  sim.Duration
+}
+
+// scoredAttempt pairs an attempt with its observed progress rate.
+type scoredAttempt struct {
+	a    *engine.MapAttempt
+	rate float64
 }
 
 // NewLATE returns a policy with the canonical defaults.
@@ -66,7 +94,7 @@ func (l *LATE) defaults() {
 }
 
 // Pick implements engine.SpeculationPolicy.
-func (l *LATE) Pick(d *engine.Driver, node *cluster.Node, candidates []*engine.MapAttempt, activeSpec int) *engine.MapAttempt {
+func (l *LATE) Pick(d *engine.Driver, node *cluster.Node, candidates []*engine.MapAttempt, candEpoch uint64, activeSpec int) *engine.MapAttempt {
 	l.defaults()
 	if len(candidates) == 0 {
 		return nil
@@ -83,46 +111,14 @@ func (l *LATE) Pick(d *engine.Driver, node *cluster.Node, candidates []*engine.M
 	}
 	now := d.Eng.Now()
 
-	// Progress rates for mature attempts.
-	type scored struct {
-		a    *engine.MapAttempt
-		rate float64
+	// The straggler choice below is independent of the probing node, so
+	// it is memoized per (instant, candidate-set epoch): every idle node
+	// probed at the same instant sees the same candidate ranking.
+	if !l.pickValid || l.pickAt != now || l.pickEpoch != candEpoch {
+		l.pickVictim, l.pickWorst = l.selectVictim(now, candidates)
+		l.pickAt, l.pickEpoch, l.pickValid = now, candEpoch, true
 	}
-	var mature []scored
-	for _, a := range candidates {
-		age := sim.Duration(now - a.Start)
-		if age < l.MinAge {
-			continue
-		}
-		mature = append(mature, scored{a, a.Progress(now) / float64(age)})
-	}
-	if len(mature) == 0 {
-		return nil
-	}
-	sort.Slice(mature, func(i, j int) bool {
-		if mature[i].rate != mature[j].rate {
-			return mature[i].rate < mature[j].rate
-		}
-		return mature[i].a.Task < mature[j].a.Task
-	})
-	// Threshold rate at the slow-task percentile.
-	idx := int(l.SlowTaskPercentile * float64(len(mature)))
-	if idx >= len(mature) {
-		idx = len(mature) - 1
-	}
-	threshold := mature[idx].rate
-
-	// Among below-threshold tasks, pick the longest estimated time to end.
-	var victim *engine.MapAttempt
-	var worst sim.Duration = -1
-	for _, s := range mature {
-		if s.rate > threshold {
-			continue
-		}
-		if rem := s.a.EstRemaining(now); rem > worst || (rem == worst && victim != nil && s.a.Task < victim.Task) {
-			worst, victim = rem, s.a
-		}
-	}
+	victim, worst := l.pickVictim, l.pickWorst
 	if victim == nil {
 		return nil
 	}
@@ -136,21 +132,72 @@ func (l *LATE) Pick(d *engine.Driver, node *cluster.Node, candidates []*engine.M
 	return victim
 }
 
+// selectVictim ranks the candidate set at the given instant: progress
+// rates for mature attempts, the slow-task percentile threshold, and the
+// below-threshold attempt with the longest estimated remaining time.
+func (l *LATE) selectVictim(now sim.Time, candidates []*engine.MapAttempt) (*engine.MapAttempt, sim.Duration) {
+	// Progress rates for mature attempts (scratch reused across calls).
+	l.mature = l.mature[:0]
+	l.rates = l.rates[:0]
+	for _, a := range candidates {
+		age := sim.Duration(now - a.Start)
+		if age < l.MinAge {
+			continue
+		}
+		r := a.Progress(now) / float64(age)
+		l.mature = append(l.mature, scoredAttempt{a, r})
+		l.rates = append(l.rates, r)
+	}
+	if len(l.mature) == 0 {
+		return nil, -1
+	}
+	// Threshold rate at the slow-task percentile: the idx-th smallest
+	// rate. Only the rate value matters, so a typed float sort replaces
+	// the old full (rate, Task) ordering of the attempts themselves.
+	sort.Float64s(l.rates)
+	idx := int(l.SlowTaskPercentile * float64(len(l.rates)))
+	if idx >= len(l.rates) {
+		idx = len(l.rates) - 1
+	}
+	threshold := l.rates[idx]
+
+	// Among below-threshold tasks, pick the longest estimated time to
+	// end, ties to the lexicographically smallest task — a unique winner,
+	// so the scan needs no particular order.
+	var victim *engine.MapAttempt
+	var worst sim.Duration = -1
+	for _, s := range l.mature {
+		if s.rate > threshold {
+			continue
+		}
+		if rem := s.a.EstRemaining(now); rem > worst || (rem == worst && victim != nil && s.a.Task < victim.Task) {
+			worst, victim = rem, s.a
+		}
+	}
+	return victim, worst
+}
+
 // nodeIsSlow reports whether the node's speed falls in the bottom
 // percentile of cluster speeds. (LATE estimates node speed from observed
 // progress; the simulation uses the node's current effective speed as
 // that estimate.)
 func (l *LATE) nodeIsSlow(c *cluster.Cluster, node *cluster.Node) bool {
-	speeds := make([]float64, 0, c.Size())
-	for _, n := range c.Nodes {
-		speeds = append(speeds, n.Speed())
-	}
-	sort.Float64s(speeds)
-	idx := int(l.SlowNodePercentile * float64(len(speeds)))
-	if idx >= len(speeds) {
-		idx = len(speeds) - 1
+	if epoch := c.SpeedEpoch(); !l.speedsValid || l.speedsAt != epoch {
+		l.speedsBuf = l.speedsBuf[:0]
+		for _, n := range c.Nodes {
+			l.speedsBuf = append(l.speedsBuf, n.Speed())
+		}
+		sort.Float64s(l.speedsBuf)
+		speeds := l.speedsBuf
+		idx := int(l.SlowNodePercentile * float64(len(speeds)))
+		if idx >= len(speeds) {
+			idx = len(speeds) - 1
+		}
+		l.threshold = speeds[idx]
+		l.uniform = speeds[0] == speeds[len(speeds)-1]
+		l.speedsValid, l.speedsAt = true, epoch
 	}
 	// Strict comparison: nodes AT the percentile speed (e.g. the healthy
 	// majority of a mostly-uniform cluster) are not slow.
-	return node.Speed() < speeds[idx] && speeds[0] < speeds[len(speeds)-1]
+	return !l.uniform && node.Speed() < l.threshold
 }

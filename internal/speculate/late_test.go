@@ -139,18 +139,18 @@ func TestLATEPickDeclinesOnSlowNode(t *testing.T) {
 	eng.RunUntil(10) // let progress accumulate past MinAge
 
 	l := NewLATE()
-	if got := l.Pick(d, slowNode, []*engine.MapAttempt{attempt}, 0); got != nil {
+	if got := l.Pick(d, slowNode, []*engine.MapAttempt{attempt}, 1, 0); got != nil {
 		t.Fatal("Pick placed a speculative copy on the slowest node")
 	}
-	if got := l.Pick(d, c.Node(0), []*engine.MapAttempt{attempt}, 0); got == nil {
+	if got := l.Pick(d, c.Node(0), []*engine.MapAttempt{attempt}, 2, 0); got == nil {
 		t.Fatal("Pick refused a healthy node for a clear straggler")
 	}
 	// Cap exhausted → nil.
-	if got := l.Pick(d, c.Node(0), []*engine.MapAttempt{attempt}, 100); got != nil {
+	if got := l.Pick(d, c.Node(0), []*engine.MapAttempt{attempt}, 3, 100); got != nil {
 		t.Fatal("Pick ignored the speculation cap")
 	}
 	// No candidates → nil.
-	if got := l.Pick(d, c.Node(0), nil, 0); got != nil {
+	if got := l.Pick(d, c.Node(0), nil, 4, 0); got != nil {
 		t.Fatal("Pick invented a candidate")
 	}
 }

@@ -33,12 +33,15 @@ type NodeWatcher struct {
 	// Trace, when non-nil, records loss declarations and rejoins.
 	Trace *trace.Tracer
 
-	eng      *sim.Engine
-	c        *cluster.Cluster
-	rm       *RM
-	lastBeat map[cluster.NodeID]sim.Time
-	lost     map[cluster.NodeID]bool
-	wasDown  map[cluster.NodeID]bool
+	eng *sim.Engine
+	c   *cluster.Cluster
+	rm  *RM
+	// Per-node liveness state is struct-of-arrays: flat slices indexed
+	// by the dense NodeID, walked contiguously by the batched sweep.
+	lastBeat []sim.Time
+	lost     []bool
+	wasDown  []bool
+	verdicts []uint8 // sweep scratch: per-node phase-A classification
 	onLost   []func(cluster.NodeID)
 	onRejoin []func(cluster.NodeID)
 	ticker   *sim.Ticker
@@ -53,9 +56,10 @@ func NewNodeWatcher(eng *sim.Engine, c *cluster.Cluster, rm *RM) *NodeWatcher {
 		eng:           eng,
 		c:             c,
 		rm:            rm,
-		lastBeat:      make(map[cluster.NodeID]sim.Time, c.Size()),
-		lost:          make(map[cluster.NodeID]bool, c.Size()),
-		wasDown:       make(map[cluster.NodeID]bool, c.Size()),
+		lastBeat:      make([]sim.Time, c.Size()),
+		lost:          make([]bool, c.Size()),
+		wasDown:       make([]bool, c.Size()),
+		verdicts:      make([]uint8, c.Size()),
 	}
 	for _, n := range c.Nodes {
 		w.lastBeat[n.ID] = eng.Now()
@@ -72,40 +76,82 @@ func (w *NodeWatcher) OnLost(fn func(cluster.NodeID)) { w.onLost = append(w.onLo
 func (w *NodeWatcher) OnRejoin(fn func(cluster.NodeID)) { w.onRejoin = append(w.onRejoin, fn) }
 
 // Lost reports whether the node is currently declared lost.
-func (w *NodeWatcher) Lost(id cluster.NodeID) bool { return w.lost[id] }
+func (w *NodeWatcher) Lost(id cluster.NodeID) bool {
+	return int(id) >= 0 && int(id) < len(w.lost) && w.lost[id]
+}
 
 // Stop halts the liveness ticker (wired to Driver.OnFinished).
 func (w *NodeWatcher) Stop() { w.ticker.Stop() }
 
-// tick is one heartbeat round. Nodes are visited in cluster order, so
-// same-instant detections and rejoins fire deterministically.
+// Phase-A sweep verdicts: what this round's heartbeat means for a node.
+const (
+	verdictNone    uint8 = iota // live and never down, or already handled
+	verdictRejoin               // up again after an outage: re-register
+	verdictDeclare              // down past the timeout: declare lost
+)
+
+// tick is one heartbeat round: one batched timer event sweeping every
+// node instead of one event per node. Phase A classifies nodes in
+// parallel, one contiguous block per event-queue shard — it reads only
+// per-node liveness state and writes only this node's verdict slot, so
+// the sweep is race-free. Phase B applies verdicts (state flips, RM
+// reconciliation, loss/rejoin callbacks, trace emission) serially in
+// cluster order, so same-instant detections and rejoins fire in exactly
+// the order the per-node loop produced and the round is byte-identical
+// at any shard count.
+//
+// A node's verdict depends only on its own lastBeat/lost/wasDown/Down —
+// never on another node's — and the phase-B callbacks never mutate
+// another node's liveness state, so classifying before applying cannot
+// change any verdict.
 func (w *NodeWatcher) tick(now sim.Time) {
-	for _, n := range w.c.Nodes {
-		if !n.Down() {
-			rejoined := w.lost[n.ID] || w.wasDown[n.ID]
-			declared := w.lost[n.ID]
-			w.lost[n.ID] = false
-			w.wasDown[n.ID] = false
-			w.lastBeat[n.ID] = now
-			if rejoined {
+	nodes := w.c.Nodes
+	n := len(nodes)
+	k := w.eng.Shards()
+	timeout := w.Period * sim.Duration(w.MissThreshold)
+	verdicts := w.verdicts
+	w.eng.Fork(func(shard int) {
+		for i := shard * n / k; i < (shard+1)*n/k; i++ {
+			node := nodes[i]
+			switch {
+			case !node.Down():
+				if w.lost[node.ID] || w.wasDown[node.ID] {
+					verdicts[i] = verdictRejoin
+				} else {
+					verdicts[i] = verdictNone
+				}
+			case !w.lost[node.ID] && sim.Duration(now-w.lastBeat[node.ID]) >= timeout:
+				verdicts[i] = verdictDeclare
+			default:
+				verdicts[i] = verdictNone
+			}
+		}
+	})
+	for i, node := range nodes {
+		if !node.Down() {
+			declared := w.lost[node.ID]
+			w.lost[node.ID] = false
+			w.wasDown[node.ID] = false
+			w.lastBeat[node.ID] = now
+			if verdicts[i] == verdictRejoin {
 				// Re-registration: the restored node's first heartbeat. Even
 				// after an outage too brief to be declared, its containers
 				// died, so capacity is reconciled and rejoin hooks fire.
-				w.Trace.FaultRecover(n.ID, declared)
-				w.rm.NodeRestored(n.ID)
+				w.Trace.FaultRecover(node.ID, declared)
+				w.rm.NodeRestored(node.ID)
 				for _, fn := range w.onRejoin {
-					fn(n.ID)
+					fn(node.ID)
 				}
 			}
 			continue
 		}
-		w.wasDown[n.ID] = true
-		if !w.lost[n.ID] && sim.Duration(now-w.lastBeat[n.ID]) >= w.Period*sim.Duration(w.MissThreshold) {
-			w.lost[n.ID] = true
-			w.Trace.FaultDetect(n.ID)
-			w.rm.NodeLost(n.ID)
+		w.wasDown[node.ID] = true
+		if verdicts[i] == verdictDeclare {
+			w.lost[node.ID] = true
+			w.Trace.FaultDetect(node.ID)
+			w.rm.NodeLost(node.ID)
 			for _, fn := range w.onLost {
-				fn(n.ID)
+				fn(node.ID)
 			}
 		}
 	}

@@ -1,0 +1,110 @@
+package yarn
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/sim"
+)
+
+// livenessEvent records one watcher callback with its virtual timestamp.
+type livenessEvent struct {
+	at   sim.Time
+	kind string // "lost" | "rejoin"
+	node cluster.NodeID
+}
+
+// runLivenessScript drives a watcher over a scripted outage schedule and
+// returns the timestamped callback log. The script staggers crashes and
+// restores across the cluster so every sweep round mixes verdicts:
+// nodes still up, nodes inside the timeout window, nodes crossing it,
+// and nodes rejoining (some after a declared loss, some after a blip).
+func runLivenessScript(nodes, shards int) []livenessEvent {
+	eng := sim.NewSharded(shards)
+	c := cluster.Homogeneous(nodes)
+	rm := NewRM(eng, c)
+	rm.SetScheduler(&acceptN{rm: rm, n: 0})
+	w := NewNodeWatcher(eng, c, rm)
+	var log []livenessEvent
+	w.OnLost(func(id cluster.NodeID) {
+		log = append(log, livenessEvent{eng.Now(), "lost", id})
+	})
+	w.OnRejoin(func(id cluster.NodeID) {
+		log = append(log, livenessEvent{eng.Now(), "rejoin", id})
+	})
+	for i := 0; i < nodes; i++ {
+		id := cluster.NodeID(i)
+		switch i % 4 {
+		case 0: // long outage: declared lost, then rejoins
+			down, up := sim.Time(3+i), sim.Time(60+2*i)
+			eng.At(down, "crash", func() { c.Node(id).SetDown(true) })
+			eng.At(up, "restore", func() { c.Node(id).SetDown(false) })
+		case 1: // blip shorter than the timeout: rejoin only, never lost
+			down, up := sim.Time(6+i), sim.Time(6+i)+8
+			eng.At(down, "crash", func() { c.Node(id).SetDown(true) })
+			eng.At(up, "restore", func() { c.Node(id).SetDown(false) })
+		case 2: // goes down and stays down: declared lost, no rejoin
+			eng.At(sim.Time(9+i), "crash", func() { c.Node(id).SetDown(true) })
+		}
+		// case 3: stays up throughout.
+	}
+	rm.Start()
+	eng.RunUntil(150)
+	w.Stop()
+	eng.Run()
+	return log
+}
+
+// TestLivenessSweepShardInvariance requires the batched liveness sweep
+// to produce the same declarations and rejoins, at the same virtual
+// times, in the same order, at any shard count — the per-shard parallel
+// classify must be invisible next to the serial 1-shard round.
+func TestLivenessSweepShardInvariance(t *testing.T) {
+	for _, nodes := range []int{7, 24, 100} {
+		want := runLivenessScript(nodes, 1)
+		if len(want) == 0 {
+			t.Fatalf("nodes=%d: script produced no liveness events", nodes)
+		}
+		for _, shards := range []int{2, 4, 8} {
+			got := runLivenessScript(nodes, shards)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("nodes=%d shards=%d: liveness log differs\ngot  %v\nwant %v",
+					nodes, shards, got, want)
+			}
+		}
+	}
+}
+
+// TestLivenessSweepDetectionBoundary re-pins the exact detection timing
+// on the sharded engine: with period 5 and threshold 3, a node silent
+// from just after t=5 is declared precisely at the t=20 sweep — not the
+// t=15 one — whether the sweep runs on one shard or eight.
+func TestLivenessSweepDetectionBoundary(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			eng := sim.NewSharded(shards)
+			c := cluster.Homogeneous(10)
+			rm := NewRM(eng, c)
+			rm.SetScheduler(&acceptN{rm: rm, n: 0})
+			w := NewNodeWatcher(eng, c, rm)
+			var lostAt []sim.Time
+			w.OnLost(func(cluster.NodeID) { lostAt = append(lostAt, eng.Now()) })
+			eng.At(6, "crash", func() { c.Node(3).SetDown(true) })
+			eng.RunUntil(15)
+			if w.Lost(3) || len(lostAt) != 0 {
+				t.Fatal("node declared lost after only 2 missed beats")
+			}
+			eng.RunUntil(20)
+			if !w.Lost(3) {
+				t.Fatal("node not declared lost at the third missed beat")
+			}
+			if len(lostAt) != 1 || lostAt[0] != 20 {
+				t.Fatalf("loss declared at %v, want exactly [20]", lostAt)
+			}
+			w.Stop()
+			eng.Run()
+		})
+	}
+}

@@ -38,10 +38,17 @@ type RM struct {
 	cluster *cluster.Cluster
 	sched   Scheduler
 
-	free           map[cluster.NodeID]int
-	offerScheduled map[cluster.NodeID]bool
-	lastGrant      map[cluster.NodeID]sim.Time
-	granted        map[cluster.NodeID]bool
+	// Per-node hot state is struct-of-arrays: flat slices indexed by the
+	// dense NodeID. offerFns holds one preallocated heartbeat callback
+	// per node so the steady-state offer chain — the most frequent event
+	// class in a run — schedules without a fresh closure allocation, and
+	// shardOf routes each node's offers to its event-queue shard.
+	free           []int
+	offerScheduled []bool
+	lastGrant      []sim.Time
+	granted        []bool
+	offerFns       []func()
+	shardOf        []int32
 	nextCID        int
 	started        bool
 
@@ -57,13 +64,21 @@ func NewRM(eng *sim.Engine, c *cluster.Cluster) *RM {
 		AssignDelay:    1.0,
 		eng:            eng,
 		cluster:        c,
-		free:           make(map[cluster.NodeID]int, c.Size()),
-		offerScheduled: make(map[cluster.NodeID]bool, c.Size()),
-		lastGrant:      make(map[cluster.NodeID]sim.Time, c.Size()),
-		granted:        make(map[cluster.NodeID]bool, c.Size()),
+		free:           make([]int, c.Size()),
+		offerScheduled: make([]bool, c.Size()),
+		lastGrant:      make([]sim.Time, c.Size()),
+		granted:        make([]bool, c.Size()),
+		offerFns:       make([]func(), c.Size()),
+		shardOf:        make([]int32, c.Size()),
 	}
-	for _, n := range c.Nodes {
+	for i, n := range c.Nodes {
 		rm.free[n.ID] = n.Slots
+		rm.shardOf[i] = int32(eng.ShardOf(i, c.Size()))
+		id := n.ID
+		rm.offerFns[i] = func() {
+			rm.offerScheduled[id] = false
+			rm.offerNow(rm.cluster.Node(id))
+		}
 	}
 	return rm
 }
@@ -108,7 +123,7 @@ func (rm *RM) Start() {
 }
 
 // FreeSlots returns the number of currently free slots on a node.
-func (rm *RM) FreeSlots(id cluster.NodeID) int { return rm.free[id] }
+func (rm *RM) FreeSlots(id cluster.NodeID) int { return rm.freeAt(id) }
 
 // TotalFree returns the number of free slots cluster-wide.
 func (rm *RM) TotalFree() int {
@@ -117,6 +132,14 @@ func (rm *RM) TotalFree() int {
 		total += v
 	}
 	return total
+}
+
+// NodeShard returns the event-queue shard owning a node's offer events.
+func (rm *RM) NodeShard(id cluster.NodeID) int {
+	if int(id) < 0 || int(id) >= len(rm.shardOf) {
+		return 0
+	}
+	return int(rm.shardOf[id])
 }
 
 // Poke re-offers idle capacity on every node immediately. AMs call it
@@ -128,6 +151,14 @@ func (rm *RM) Poke() {
 	for _, n := range rm.cluster.Nodes {
 		rm.offerNow(n)
 	}
+}
+
+// freeAt returns the free-slot count for a node, 0 for unknown IDs.
+func (rm *RM) freeAt(id cluster.NodeID) int {
+	if int(id) < 0 || int(id) >= len(rm.free) {
+		return 0
+	}
+	return rm.free[id]
 }
 
 // offerNow makes at most one offer on the node; if it is accepted and
@@ -152,16 +183,18 @@ func (rm *RM) offerNow(n *cluster.Node) {
 	}
 }
 
-// scheduleOffer arms a single delayed offer per node (no parallel chains).
+// scheduleOffer arms a single delayed offer per node (no parallel chains)
+// on the node's event-queue shard, reusing the node's preallocated
+// callback. Offers stay one event per node, not one batched sweep:
+// same-instant offers interleave with work-done and release events in
+// (time, seq) order, and collapsing them into a sweep would reorder
+// scheduler decisions against those events.
 func (rm *RM) scheduleOffer(id cluster.NodeID, delay sim.Duration) {
 	if rm.offerScheduled[id] {
 		return
 	}
 	rm.offerScheduled[id] = true
-	rm.eng.After(delay, "nm-heartbeat", func() {
-		rm.offerScheduled[id] = false
-		rm.offerNow(rm.cluster.Node(id))
-	})
+	rm.eng.AfterShard(int(rm.shardOf[id]), delay, "nm-heartbeat", rm.offerFns[id])
 }
 
 // NodeLost removes a node's capacity from the pool: the NodeWatcher
