@@ -15,12 +15,18 @@
 //	          [-micro-time 100ms] [-check BENCH_old.json|latest] [-check-threshold 1.25]
 //	          [-max-allocs-per-event N] [-xl-sizes 2000,10000] [-xl-shards 8]
 //	          [-xl-bus-per-node 8] [-xl-budget 2m] [-min-xl-events-per-sec N]
+//	          [-net-sizes 200,2000]
 //
 // Beyond the classic grid, an XL section runs single-job cells at
 // cluster scale (default n=2000 and n=10000) on the sharded engine.
 // XL cells carry a wall-clock budget and an optional events/sec floor:
 // the point of sharding is that a 10k-node cluster stays simulable, and
-// the floor pins that in CI. -check accepts the literal "latest", which
+// the floor pins that in CI. A net section repeats the single-job cell
+// with the cluster organized into racks behind a 4:1-oversubscribed
+// core, so the max-min fair network fabric (remote map fetches plus the
+// reduce shuffle) is on the measured path; net cells run sharded and
+// are covered by the same budget and events/sec floor as XL cells.
+// -check accepts the literal "latest", which
 // resolves to the highest-numbered BENCH_<n>.json already in -out —
 // resolved before the new report is written, so the gate always compares
 // against the most recent committed baseline instead of a stale pin.
@@ -48,6 +54,7 @@ import (
 	"flexmap/internal/dfs"
 	"flexmap/internal/engine"
 	"flexmap/internal/faults"
+	"flexmap/internal/mr"
 	"flexmap/internal/puma"
 	"flexmap/internal/randutil"
 	"flexmap/internal/runner"
@@ -118,7 +125,8 @@ func main() {
 	xlShards := flag.Int("xl-shards", 8, "engine shard count for XL cells")
 	xlBusPerNode := flag.Int("xl-bus-per-node", 8, "input scale for XL cells: 8 MB block units per node")
 	xlBudget := flag.Duration("xl-budget", 2*time.Minute, "wall-clock budget per XL cell (0 = no budget)")
-	minXLEvents := flag.Float64("min-xl-events-per-sec", 0, "events/sec floor over XL cells (0 = no gate)")
+	minXLEvents := flag.Float64("min-xl-events-per-sec", 0, "events/sec floor over XL and net cells (0 = no gate)")
+	netSizes := flag.String("net-sizes", "200,2000", "comma-separated cluster sizes run with the rack topology fabric enabled (empty = skip)")
 	flag.Parse()
 
 	nodeCounts, err := parseSizes(*sizes)
@@ -190,6 +198,33 @@ func main() {
 	for _, n := range xlCounts {
 		for _, eng := range []runner.EngineKind{runner.Hadoop, runner.FlexMap} {
 			run, err := runXLCell(n, eng, *xlBusPerNode, *seed, *xlShards)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", run.Name, err))
+			}
+			fmt.Printf("%-40s %10.1f ev/ms  %6.1f allocs/ev  %8.0f B/ev  %8.0fms wall\n",
+				run.Name, run.EventsPerS/1e3, run.AllocsPerEv, run.BytesPerEv, run.WallMS)
+			if *xlBudget > 0 && run.WallMS > float64(*xlBudget)/float64(time.Millisecond) {
+				fatal(fmt.Errorf("gate: %s took %.0fms, budget %s", run.Name, run.WallMS, *xlBudget))
+			}
+			rep.Grid = append(rep.Grid, run)
+		}
+	}
+
+	// Net cells: the same single-job measurement with the network fabric
+	// on the hot path — racks of 20 hosts behind a 4:1-oversubscribed
+	// core, so every remote map fetch and shuffle copy goes through the
+	// max-min fair bandwidth allocator. Sharded, so the XL events/sec
+	// floor and wall budget also pin fabric overhead in CI.
+	netCounts, err := parseSizes(*netSizes)
+	if *netSizes == "" {
+		netCounts, err = nil, nil
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range netCounts {
+		for _, eng := range []runner.EngineKind{runner.Hadoop, runner.FlexMap} {
+			run, err := runNetCell(n, eng, *xlBusPerNode, *seed, *xlShards)
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", run.Name, err))
 			}
@@ -336,7 +371,12 @@ func runCell(n int, kind runner.EngineKind, withFaults, withTrace bool, busPerNo
 	if err != nil {
 		return run, err
 	}
+	return measureCell(run, sc, spec, kind)
+}
 
+// measureCell executes one single-job scenario inside the GC'd
+// ReadMemStats sandwich and fills run's timing and allocation fields.
+func measureCell(run GridRun, sc runner.Scenario, spec mr.JobSpec, kind runner.EngineKind) (GridRun, error) {
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -433,6 +473,47 @@ func runWorkloadCell(n int, kind runner.EngineKind, seed int64) (GridRun, error)
 // cell about steady-state event throughput rather than DFS placement.
 func runXLCell(n int, kind runner.EngineKind, busPerNode int, seed int64, shards int) (GridRun, error) {
 	return runCell(n, kind, false, false, busPerNode, seed, shards)
+}
+
+// Net cells' rack shape: 20 hosts per rack behind a 4:1-oversubscribed
+// core — the midpoint of the netplace experiment's fabric sweep, and
+// enough contention that the max-min allocator recomputes on every flow
+// arrival and departure rather than degenerating to host-link caps.
+const (
+	netBenchHostsPerRack = 20
+	netBenchOversub      = 4
+)
+
+// runNetCell is one topology-enabled cell: the XL single-job scenario on
+// the same heterogeneous cluster, but organized into racks so remote map
+// fetches and the reduce shuffle route through the fair-sharing fabric.
+func runNetCell(n int, kind runner.EngineKind, busPerNode int, seed int64, shards int) (GridRun, error) {
+	run := GridRun{
+		Name:   fmt.Sprintf("net/n%d/%s/shards=%d", n, kind, shards),
+		Nodes:  n,
+		Engine: string(kind),
+		Shards: shards,
+	}
+	sc := runner.Scenario{
+		Name: run.Name,
+		Cluster: func() (*cluster.Cluster, cluster.Interferer) {
+			c, inf := benchCluster(n)()
+			c.Topology = &cluster.TopologySpec{HostsPerRack: netBenchHostsPerRack, Oversub: netBenchOversub}
+			return c, inf
+		},
+		Seed:      seed,
+		InputSize: int64(n) * int64(busPerNode) * dfs.BUSize,
+		Shards:    shards,
+	}
+	reducers := n / 4
+	if reducers < 4 {
+		reducers = 4
+	}
+	spec, err := puma.Spec(puma.WordCount, "input", reducers)
+	if err != nil {
+		return run, err
+	}
+	return measureCell(run, sc, spec, kind)
 }
 
 func onOff(b bool) string {

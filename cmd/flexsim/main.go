@@ -10,6 +10,7 @@
 //	        [-engine hadoop|hadoop-nospec|skewtune|flexmap] [-split 64]
 //	        [-bench wordcount] [-size-gb 20] [-reducers 0(auto)]
 //	        [-slow-fraction 0.2] [-seed 42] [-attempts]
+//	        [-topology 0(hosts/rack)] [-oversub 1]
 //	        [-trace events.jsonl] [-perfetto trace.json] [-timeline]
 //	        [-faults 0(crashes/node-hr)] [-fault-downtime 120]
 //	        [-workload 0(jobs)] [-arrival-rate 60] [-arrivals poisson|burst]
@@ -41,6 +42,8 @@ func main() {
 	slowFraction := flag.Float64("slow-fraction", 0.20, "slow-node fraction for -cluster multitenant")
 	nodes := flag.Int("nodes", 6, "node count for -cluster homogeneous")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	topology := flag.Int("topology", 0, "hosts per rack for the two-level network topology (0 = legacy flat model)")
+	oversub := flag.Float64("oversub", 1, "rack uplink oversubscription ratio with -topology (1 = full bisection)")
 	shards := flag.Int("shards", 1, "event-queue shard count (output is byte-identical at any value)")
 	attempts := flag.Bool("attempts", false, "print the per-attempt table")
 	tracePath := flag.String("trace", "", "write the typed event trace as JSON Lines to this file")
@@ -72,6 +75,7 @@ func main() {
 	default:
 		fatalf("unknown cluster %q", *clusterName)
 	}
+	factory = flexmap.WithTopology(factory, *topology, *oversub)
 
 	clus, _ := factory()
 	r := *reducers
@@ -155,6 +159,16 @@ func main() {
 	}
 	fmt.Printf("speculative launches %d, remote bytes %d MB, repartitioned %d MB\n",
 		res.SpeculativeLaunches, res.RemoteBytesRead/flexmap.MB, res.RepartitionBytes/flexmap.MB)
+	if res.NetLinks != nil {
+		peak := 0.0
+		for _, ls := range res.NetLinks {
+			if ls.Util > peak {
+				peak = ls.Util
+			}
+		}
+		fmt.Printf("network    %d MB cross-rack, peak link utilization %.3f (topology %d hosts/rack, %g:1 oversub)\n",
+			res.CrossRackBytes/flexmap.MB, peak, *topology, *oversub)
+	}
 	if sc.Faults.Active() {
 		fmt.Printf("faults     %d nodes lost (%d rejoined), %d attempts crashed, %d preemptions\n",
 			res.NodesLost, res.NodesRejoined, res.AttemptsCrashed, res.Preemptions)

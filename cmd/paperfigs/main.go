@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead|faults|workload]
+//	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead|faults|workload|netplace]
 //	          [-seed N] [-scale N] [-bench WC,GR,...] [-parallel N]
 //	          [-trace-dir DIR]
+//
+// netplace (reduce placement × core oversubscription on the topology
+// fabric) is opt-in: it is not part of -exp all, whose output reproduces
+// the paper's flat-network figures byte for byte.
 //
 // -scale divides the paper's input sizes (1 = full scale). -parallel
 // bounds how many simulations run concurrently (0 = one per core,
@@ -30,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, tableI, tableII, fig1, fig2, fig3, fig5, fig6, fig7, fig8, overhead, ablation, skew, faults, workload)")
+	exp := flag.String("exp", "all", "experiment to run (all, tableI, tableII, fig1, fig2, fig3, fig5, fig6, fig7, fig8, overhead, ablation, skew, faults, workload, netplace; netplace is opt-in and not part of all)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	scale := flag.Int64("scale", 1, "divide paper input sizes by this factor")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (short names, e.g. WC,GR)")
@@ -180,6 +184,16 @@ func main() {
 		}
 		return r.Render(), nil
 	})
+	// netplace is opt-in only: "all" reproduces the paper's figures, which
+	// are defined on the flat network model, and its output must stay
+	// byte-identical whether or not the topology fabric exists.
+	if *exp == "netplace" {
+		r, err := experiments.NetPlace(cfg)
+		if err != nil {
+			fatalf("netplace: %v", err)
+		}
+		fmt.Println(r.Render())
+	}
 }
 
 func fatalf(format string, args ...any) {

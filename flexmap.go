@@ -39,6 +39,7 @@ import (
 	"flexmap/internal/faults"
 	"flexmap/internal/metrics"
 	"flexmap/internal/mr"
+	"flexmap/internal/net"
 	"flexmap/internal/puma"
 	"flexmap/internal/runner"
 	"flexmap/internal/sim"
@@ -74,6 +75,12 @@ type (
 	Cluster = cluster.Cluster
 	// Interferer perturbs node speeds over time.
 	Interferer = cluster.Interferer
+	// TopologySpec describes a two-level rack/core network topology
+	// (Cluster.Topology; nil keeps the legacy flat network model).
+	TopologySpec = cluster.TopologySpec
+	// NetLinkStat is one fabric link's end-of-run byte count and peak
+	// utilization (RunResult.NetLinks; topology runs only).
+	NetLinkStat = net.LinkStat
 	// SizeSample is one dispatched FlexMap task size (Fig. 7 traces).
 	SizeSample = core.SizeSample
 	// Benchmark names a PUMA workload.
@@ -183,6 +190,24 @@ func ClusterVirtual20(seed int64) ClusterFactory {
 func ClusterMultiTenant40(slowFraction float64, seed int64) ClusterFactory {
 	return func() (*Cluster, Interferer) {
 		return cluster.MultiTenant40(slowFraction, seed)
+	}
+}
+
+// WithTopology wraps a cluster factory so every built cluster carries a
+// two-level network topology: racks of hostsPerRack nodes (contiguous
+// NodeIDs), host access links at the cluster's NetBW, and rack core
+// links oversubscribed by the given ratio (1 = full bisection). Runs on
+// such a cluster route remote map fetches and the reduce shuffle through
+// the fabric with deterministic max-min fair sharing; hostsPerRack <= 0
+// returns the factory unchanged (legacy flat model).
+func WithTopology(factory ClusterFactory, hostsPerRack int, oversub float64) ClusterFactory {
+	if hostsPerRack <= 0 {
+		return factory
+	}
+	return func() (*Cluster, Interferer) {
+		c, inf := factory()
+		c.Topology = &TopologySpec{HostsPerRack: hostsPerRack, Oversub: oversub}
+		return c, inf
 	}
 }
 

@@ -91,6 +91,50 @@ func (n *Node) OnSpeedChange(fn func(*Node)) {
 	n.listeners = append(n.listeners, fn)
 }
 
+// TopologySpec describes a two-level fat-tree fabric: hosts attach to
+// top-of-rack switches whose uplinks into the core can be oversubscribed.
+// Racks are contiguous NodeID blocks — rack r holds nodes
+// [r*HostsPerRack, (r+1)*HostsPerRack) — which keeps rack locality aligned
+// with the sharded engine's contiguous node→shard blocks.
+type TopologySpec struct {
+	// HostsPerRack is the rack width; the last rack may be partial.
+	HostsPerRack int
+
+	// HostBW is the host access-link bandwidth in MB/s in each direction.
+	// Zero means inherit Cluster.NetBW.
+	HostBW float64
+
+	// Oversub is the ToR uplink oversubscription ratio: each rack's
+	// uplink/downlink capacity is HostBW × HostsPerRack / Oversub, so 1
+	// gives full bisection bandwidth and 4 means four racks' worth of
+	// hosts contend for one rack's worth of core capacity. Zero means 1.
+	Oversub float64
+}
+
+// Validate rejects geometries that would produce empty racks or
+// zero/negative-capacity links (which divide transfer times to +Inf/NaN).
+func (t *TopologySpec) Validate(netBW float64) error {
+	if t.HostsPerRack < 1 {
+		return fmt.Errorf("cluster: topology HostsPerRack %d < 1", t.HostsPerRack)
+	}
+	hostBW := t.HostBW
+	if hostBW == 0 {
+		hostBW = netBW
+	}
+	if hostBW <= 0 {
+		return fmt.Errorf("cluster: topology host bandwidth %v MB/s is not positive", hostBW)
+	}
+	if t.Oversub < 0 {
+		return fmt.Errorf("cluster: topology oversubscription %v is negative", t.Oversub)
+	}
+	if ov := t.Oversub; ov != 0 {
+		if rackBW := hostBW * float64(t.HostsPerRack) / ov; rackBW <= 0 {
+			return fmt.Errorf("cluster: topology rack link capacity %v MB/s is not positive", rackBW)
+		}
+	}
+	return nil
+}
+
 // Cluster is a named set of worker nodes plus shared fabric parameters.
 type Cluster struct {
 	Name  string
@@ -100,6 +144,12 @@ type Cluster struct {
 	// block reads and shuffle fetches. The paper's testbeds use 10 Gbps
 	// Ethernet (~1250 MB/s).
 	NetBW float64
+
+	// Topology, when non-nil, replaces the flat contention-free network
+	// model with the topology-aware fabric in internal/net: per-link
+	// capacities and max-min fair sharing across concurrent flows. Nil
+	// keeps the legacy flat model, byte-identical to earlier versions.
+	Topology *TopologySpec
 
 	// slab is the contiguous backing array for Nodes: one allocation for
 	// the whole fleet so 10k-node sweeps walk a flat cache-friendly block

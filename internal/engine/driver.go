@@ -9,6 +9,7 @@ import (
 	"flexmap/internal/cluster"
 	"flexmap/internal/dfs"
 	"flexmap/internal/mr"
+	"flexmap/internal/net"
 	"flexmap/internal/randutil"
 	"flexmap/internal/sim"
 	"flexmap/internal/trace"
@@ -35,6 +36,13 @@ type Driver struct {
 
 	// ReducePlacer defaults to EvenReducePlacer.
 	ReducePlacer ReducePlacer
+
+	// Net, when non-nil, routes every remote transfer — map fetches,
+	// speculative copies, reduce shuffle streams — through the topology
+	// fabric, where concurrent flows share per-link bandwidth max-min
+	// fairly. Nil keeps the legacy flat model: each transfer independently
+	// sees the full Cluster.NetBW, byte-identical to earlier versions.
+	Net *net.Fabric
 
 	// RegisterScheduler, when non-nil, intercepts Register: instead of
 	// binding the AM straight to the RM (the solo-run default), the
@@ -188,6 +196,11 @@ type MapAttempt struct {
 	phaseEv     sim.Handle
 	work        *Work
 	fetchDur    sim.Duration
+	fetchStart  sim.Time
+	extraFetch  int64
+	flows       []*net.Flow
+	flowsLeft   int
+	fetched     int64 // remote bytes actually transferred (see finishFetch)
 	computeAt   sim.Time
 	killed      bool
 	crashed     bool
@@ -249,10 +262,10 @@ func (d *Driver) LaunchMap(l MapLaunch) *MapAttempt {
 		}
 	}
 	a.RemoteBytes = remote
+	a.extraFetch = l.ExtraFetchBytes
 	if l.Speculative {
 		d.Result.SpeculativeLaunches++
 	}
-	d.Result.RemoteBytesRead += remote
 	if !d.mapPhaseStarted {
 		d.mapPhaseStarted = true
 		d.Result.MapPhaseStart = d.Eng.Now()
@@ -260,18 +273,124 @@ func (d *Driver) LaunchMap(l MapLaunch) *MapAttempt {
 	d.addRunning(l.Node.ID, a)
 	d.Trace.MapDispatch(l.Task, l.Node.ID, l.Wave, len(l.BUs), l.LocalBUs, a.Bytes, remote, l.Speculative)
 
+	// fetchDur is the uncontended flat-model transfer time; under the
+	// topology fabric it serves as the pre-fetch estimate and is replaced
+	// with the actual elapsed time once the flows drain.
 	a.fetchDur = sim.Duration(float64(remote) / (d.Cluster.NetBW * float64(MB)))
 	a.phase = phaseOverhead
 	a.phaseEndsAt = d.Eng.Now() + sim.Time(d.Cost.Overhead())
+	if remote == 0 {
+		// Fully-local split: nothing to move, so no fetch phase — skip
+		// straight from overhead to compute instead of scheduling a dead
+		// zero-duration "map-fetch" event.
+		a.phaseEv = d.Eng.AfterShard(d.Exec.ShardFor(l.Node.ID), d.Cost.Overhead(), "map-overhead", func() { a.beginCompute() })
+		return a
+	}
 	a.phaseEv = d.Eng.AfterShard(d.Exec.ShardFor(l.Node.ID), d.Cost.Overhead(), "map-overhead", func() { a.beginFetch() })
 	return a
 }
 
 func (a *MapAttempt) beginFetch() {
 	a.phase = phaseFetch
-	a.phaseEndsAt = a.d.Eng.Now() + sim.Time(a.fetchDur)
-	a.phaseEv = a.d.Eng.AfterShard(a.d.Exec.ShardFor(a.Node.ID), a.fetchDur, "map-fetch", func() { a.beginCompute() })
+	d := a.d
+	if d.Net == nil {
+		a.phaseEndsAt = d.Eng.Now() + sim.Time(a.fetchDur)
+		a.phaseEv = d.Eng.AfterShard(d.Exec.ShardFor(a.Node.ID), a.fetchDur, "map-fetch", func() { a.finishFetch() })
+		return
+	}
+	// Topology model: one flow per distinct source node for replica
+	// reads, plus one aggregate cross-rack flow for extra input movement
+	// (SkewTune-style repartition traffic has no single source).
+	a.fetchStart = d.Eng.Now()
+	for _, src := range d.fetchSources(a) {
+		a.flows = append(a.flows, d.Net.StartFlow(src.node, a.Node.ID, src.bytes, a.Task, a.flowDone))
+	}
+	if a.extraFetch > 0 {
+		a.flows = append(a.flows, d.Net.StartAggFlow(net.AllRemoteRacks, a.Node.ID, a.extraFetch, a.Task, a.flowDone))
+	}
+	a.flowsLeft = len(a.flows)
+	if a.flowsLeft == 0 {
+		// Remote bytes with no live replica source are modeled as free.
+		a.finishFetch()
+	}
 }
+
+// flowDone counts down the attempt's in-flight fetch streams.
+func (a *MapAttempt) flowDone() {
+	a.flowsLeft--
+	if a.flowsLeft == 0 {
+		a.finishFetch()
+	}
+}
+
+// finishFetch closes the fetch phase. The remote bytes have now actually
+// arrived, so this — not dispatch — is where they are credited to
+// Result.RemoteBytesRead: a killed attempt only ever charges what it
+// moved, and a retry's re-fetch is a genuinely new transfer.
+func (a *MapAttempt) finishFetch() {
+	d := a.d
+	if d.Net != nil {
+		a.fetchDur = sim.Duration(d.Eng.Now() - a.fetchStart)
+		a.flows = nil
+	}
+	a.fetched = a.RemoteBytes
+	d.Result.RemoteBytesRead += a.RemoteBytes
+	a.beginCompute()
+}
+
+// fetchSrc is one aggregated remote-read stream for a map attempt.
+type fetchSrc struct {
+	node  cluster.NodeID
+	bytes int64
+}
+
+// fetchSources groups the attempt's remote BUs by chosen source replica —
+// a same-rack holder when one exists, else the lowest-ID holder — a
+// deterministic stand-in for HDFS's topology-aware replica selection.
+func (d *Driver) fetchSources(a *MapAttempt) []fetchSrc {
+	var out []fetchSrc
+	dstRack := d.Net.RackOf(a.Node.ID)
+	for _, id := range a.BUs[a.LocalBUs:] {
+		size := d.Store.Block(id).Size
+		if size <= 0 {
+			continue
+		}
+		src := cluster.NodeID(-1)
+		srcLocalRack := false
+		for _, n := range d.Store.NodesFor(id) {
+			if n == a.Node.ID {
+				continue
+			}
+			sameRack := d.Net.RackOf(n) == dstRack
+			better := src < 0 ||
+				(sameRack && !srcLocalRack) ||
+				(sameRack == srcLocalRack && n < src)
+			if better {
+				src, srcLocalRack = n, sameRack
+			}
+		}
+		if src < 0 {
+			continue
+		}
+		merged := false
+		for i := range out {
+			if out[i].node == src {
+				out[i].bytes += size
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, fetchSrc{node: src, bytes: size})
+		}
+	}
+	return out
+}
+
+// FetchedRemoteBytes returns the remote input bytes this attempt actually
+// transferred (full RemoteBytes once the fetch completed; the pro-rata
+// partial if the attempt was killed mid-fetch).
+func (a *MapAttempt) FetchedRemoteBytes() int64 { return a.fetched }
 
 func (a *MapAttempt) beginCompute() {
 	a.phase = phaseCompute
@@ -417,7 +536,12 @@ func (a *MapAttempt) kill(crashed bool) bool {
 		a.d.Exec.Cancel(a.work)
 		effective = a.fetchDur + sim.Duration(now-a.computeAt)
 	} else if a.phase == phaseFetch {
-		effective = a.fetchDur - sim.Duration(a.phaseEndsAt-now)
+		if a.d.Net != nil {
+			effective = sim.Duration(now - a.fetchStart)
+		} else {
+			effective = a.fetchDur - sim.Duration(a.phaseEndsAt-now)
+		}
+		a.cancelFetch(now, effective)
 	}
 	a.d.removeRunning(a.Node.ID, a)
 	a.d.Result.Attempts = append(a.d.Result.Attempts, mr.AttemptRecord{
@@ -438,6 +562,29 @@ func (a *MapAttempt) kill(crashed bool) bool {
 	})
 	a.d.Trace.TaskKill(a.Task, a.Node.ID, crashed)
 	return true
+}
+
+// cancelFetch stops an attempt killed mid-fetch and credits exactly the
+// remote bytes that actually moved before the kill: per-flow transferred
+// bytes under the topology fabric, the elapsed-time pro-rata share under
+// the flat model. A retry's re-fetch is a new transfer and is counted
+// again when (and only when) it happens.
+func (a *MapAttempt) cancelFetch(now sim.Time, elapsed sim.Duration) {
+	d := a.d
+	var moved int64
+	if d.Net != nil {
+		for _, fl := range a.flows {
+			moved += d.Net.Cancel(fl)
+		}
+		a.flows = nil
+	} else if a.fetchDur > 0 && elapsed > 0 {
+		moved = int64(float64(a.RemoteBytes) * float64(elapsed) / float64(a.fetchDur))
+		if moved > a.RemoteBytes {
+			moved = a.RemoteBytes
+		}
+	}
+	a.fetched = moved
+	d.Result.RemoteBytesRead += moved
 }
 
 // Killed reports whether the attempt was killed.
@@ -486,6 +633,16 @@ func (a *MapAttempt) EstRemaining(now sim.Time) sim.Duration {
 	case phaseOverhead:
 		return sim.Duration(a.phaseEndsAt-now) + a.fetchDur + computeAll
 	case phaseFetch:
+		if a.d.Net != nil {
+			// Under contention the slowest in-flight flow gates the fetch.
+			var rem sim.Duration
+			for _, fl := range a.flows {
+				if r := fl.EstRemaining(now); r > rem {
+					rem = r
+				}
+			}
+			return rem + computeAll
+		}
 		return sim.Duration(a.phaseEndsAt-now) + computeAll
 	case phaseCompute:
 		remaining := a.work.total - a.work.ProcessedUnits(now)

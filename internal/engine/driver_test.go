@@ -245,10 +245,18 @@ func TestExtraFetchBytesCharged(t *testing.T) {
 	if a.RemoteBytes != 100*MB {
 		t.Fatalf("remote bytes = %d", a.RemoteBytes)
 	}
-	if h.driver.Result.RemoteBytesRead != 100*MB {
-		t.Fatal("remote read not accounted in result")
+	// Remote reads are credited when the transfer completes, not at
+	// dispatch — a launch charges nothing until bytes actually move.
+	if h.driver.Result.RemoteBytesRead != 0 {
+		t.Fatalf("remote read charged at dispatch: %d", h.driver.Result.RemoteBytesRead)
 	}
 	h.eng.Run()
+	if h.driver.Result.RemoteBytesRead != 100*MB {
+		t.Fatalf("remote read = %d after run, want %d", h.driver.Result.RemoteBytesRead, 100*MB)
+	}
+	if a.FetchedRemoteBytes() != 100*MB {
+		t.Fatalf("attempt fetched = %d, want %d", a.FetchedRemoteBytes(), 100*MB)
+	}
 	// The fetch adds 100MB/1250MBps = 0.08s to the effective runtime.
 	rec := h.driver.Result.Attempts[0]
 	if rec.Effective <= 0 {

@@ -5,6 +5,7 @@ import (
 
 	"flexmap/internal/cluster"
 	"flexmap/internal/mr"
+	"flexmap/internal/net"
 	"flexmap/internal/sim"
 	"flexmap/internal/yarn"
 )
@@ -158,6 +159,8 @@ type reduceRun struct {
 	ev        sim.Handle      // pending overhead+fetch event
 	work      *Work           // compute work once fetching is done
 	container *yarn.Container // held slot in ReduceViaRM mode; nil solo
+	flows     []*net.Flow     // in-flight shuffle streams (topology model)
+	flowsLeft int
 }
 
 // crash cancels the attempt when its node dies: a crashed AttemptRecord
@@ -165,6 +168,10 @@ type reduceRun struct {
 func (rr *reduceRun) crash() {
 	d := rr.d
 	d.Eng.Cancel(rr.ev)
+	for _, fl := range rr.flows {
+		d.Net.Cancel(fl)
+	}
+	rr.flows = nil
 	if rr.work != nil {
 		d.Exec.Cancel(rr.work)
 	}
@@ -254,15 +261,79 @@ func (d *Driver) runReduce(p int, n *cluster.Node, c *yarn.Container) {
 		d.pumpReduces(n)
 	}
 
-	rr.ev = d.Eng.After(d.Cost.Overhead()+fetchDur, "reduce-fetch", func() {
-		rr.ev = sim.Handle{}
+	compute := func() {
 		units := float64(partBytes) * d.Spec.ReduceCost
 		if units <= 0 {
 			finish()
 			return
 		}
 		rr.work = d.Exec.Start(n, units, finish)
+	}
+	if d.Net == nil {
+		rr.ev = d.Eng.After(d.Cost.Overhead()+fetchDur, "reduce-fetch", func() {
+			rr.ev = sim.Handle{}
+			compute()
+		})
+		return
+	}
+	rr.ev = d.Eng.After(d.Cost.Overhead(), "reduce-fetch", func() {
+		rr.ev = sim.Handle{}
+		rr.startShuffle(compute)
 	})
+}
+
+// startShuffle moves the partition's remote share through the topology
+// fabric as two aggregate streams: the part already resident in the
+// reducer's own rack and the part crossing the oversubscribed core.
+// Per-source flows would be O(nodes × reducers); aggregating keeps the
+// flow population at ≤2 per reducer while still loading exactly the links
+// a placement policy controls (the destination's access link and its
+// rack's core downlink).
+func (rr *reduceRun) startShuffle(compute func()) {
+	d := rr.d
+	n := rr.node
+	R := int64(d.Spec.NumReducers)
+	rack := d.Net.RackOf(n.ID)
+	rackShare := d.rackIntermediate(rack) / R
+	localShare := d.interByNode[n.ID] / R
+	intra := rackShare - localShare
+	cross := rr.partBytes - rackShare
+	if intra < 0 {
+		intra = 0
+	}
+	if cross < 0 {
+		cross = 0
+	}
+	task := reduceTaskName(rr.p)
+	done := func() {
+		rr.flowsLeft--
+		if rr.flowsLeft == 0 {
+			rr.flows = nil
+			compute()
+		}
+	}
+	if intra > 0 {
+		rr.flows = append(rr.flows, d.Net.StartAggFlow(rack, n.ID, intra, task, done))
+	}
+	if cross > 0 {
+		rr.flows = append(rr.flows, d.Net.StartAggFlow(net.AllRemoteRacks, n.ID, cross, task, done))
+	}
+	rr.flowsLeft = len(rr.flows)
+	if rr.flowsLeft == 0 {
+		compute()
+	}
+}
+
+// rackIntermediate sums the committed intermediate bytes resident on a
+// rack's nodes.
+func (d *Driver) rackIntermediate(rack int) int64 {
+	var sum int64
+	for id, b := range d.interByNode {
+		if b != 0 && d.Net.RackOf(cluster.NodeID(id)) == rack {
+			sum += b
+		}
+	}
+	return sum
 }
 
 func reduceTaskName(p int) string {

@@ -6,6 +6,7 @@ package runner
 
 import (
 	"fmt"
+	"strings"
 
 	"flexmap/internal/cluster"
 	"flexmap/internal/core"
@@ -13,6 +14,7 @@ import (
 	"flexmap/internal/engine"
 	"flexmap/internal/faults"
 	"flexmap/internal/mr"
+	"flexmap/internal/net"
 	"flexmap/internal/randutil"
 	"flexmap/internal/sim"
 	"flexmap/internal/skewtune"
@@ -48,21 +50,96 @@ type Engine struct {
 	// studies: "no-vertical", "no-horizontal", "no-bias" or "no-spec".
 	// Empty runs the full system. Ignored by the other engines.
 	FlexAblation string
+	// ReducePlacement overrides the engine's reduce placement policy:
+	// "" keeps the engine default (stock even spreading; FlexMap's
+	// capacity-biased sampling), "even" forces the stock policy, and
+	// "greedy" installs the traffic-aware greedy placer — the nethint-
+	// style baseline the netplace experiment compares against.
+	ReducePlacement string
 }
 
 // String names the engine the way the paper's figure legends do.
 func (e Engine) String() string {
+	var base string
 	if e.Kind == FlexMap {
+		base = string(FlexMap)
 		if e.FlexAblation != "" {
-			return fmt.Sprintf("%s[%s]", FlexMap, e.FlexAblation)
+			base = fmt.Sprintf("%s[%s]", FlexMap, e.FlexAblation)
 		}
-		return string(FlexMap)
+	} else {
+		split := e.SplitMB
+		if split == 0 {
+			split = 64
+		}
+		base = fmt.Sprintf("%s-%dm", e.Kind, split)
 	}
-	split := e.SplitMB
-	if split == 0 {
-		split = 64
+	if e.ReducePlacement != "" {
+		base += "+" + e.ReducePlacement
 	}
-	return fmt.Sprintf("%s-%dm", e.Kind, split)
+	return base
+}
+
+// applyReducePlacement installs the engine's reduce placement override on
+// a freshly built driver (after the AM constructor, which may have set
+// its own policy).
+func applyReducePlacement(d *engine.Driver, eng Engine) error {
+	switch eng.ReducePlacement {
+	case "":
+		return nil
+	case "even":
+		d.ReducePlacer = engine.EvenReducePlacer
+	case "greedy":
+		d.ReducePlacer = engine.GreedyReducePlacer
+	default:
+		return fmt.Errorf("runner: unknown reduce placement %q", eng.ReducePlacement)
+	}
+	return nil
+}
+
+// validateNet rejects network parameters that would silently produce
+// +Inf/NaN transfer durations: a non-positive flat NetBW, or a topology
+// spec with empty racks or zero-capacity links.
+func validateNet(name string, c *cluster.Cluster) error {
+	if c.NetBW <= 0 {
+		return fmt.Errorf("runner: %q: cluster %q NetBW %v MB/s is not positive (fetch durations would be +Inf/NaN)",
+			name, c.Name, c.NetBW)
+	}
+	if c.Topology != nil {
+		if err := c.Topology.Validate(c.NetBW); err != nil {
+			return fmt.Errorf("runner: %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// recordNetStats stamps the fabric's end-of-run link gauges: every rack
+// link individually (oversubscription saturates these), plus fleet-wide
+// totals and maxima over the host access links, which would be 2N
+// separate gauges on a big cluster.
+func recordNetStats(tracer *trace.Tracer, fabric *net.Fabric, until sim.Time) {
+	if tracer == nil || fabric == nil {
+		return
+	}
+	var upBytes, downBytes int64
+	var upMax, downMax float64
+	for _, ls := range fabric.LinkStats(until) {
+		switch {
+		case strings.HasPrefix(ls.Name, "rack"):
+			tracer.NetLinkStats(ls.Name, ls.Bytes, ls.Util)
+		case strings.HasSuffix(ls.Name, "-up"):
+			upBytes += ls.Bytes
+			if ls.Util > upMax {
+				upMax = ls.Util
+			}
+		default:
+			downBytes += ls.Bytes
+			if ls.Util > downMax {
+				downMax = ls.Util
+			}
+		}
+	}
+	tracer.NetLinkStats("hosts-up-max", upBytes, upMax)
+	tracer.NetLinkStats("hosts-down-max", downBytes, downMax)
 }
 
 // ClusterFactory builds a fresh cluster (and optional interference
@@ -155,6 +232,12 @@ type Result struct {
 	// the work unit benchmark harnesses normalize against (events/sec,
 	// allocs/event).
 	SimEvents uint64
+	// CrossRackBytes is the traffic the topology fabric carried across
+	// the oversubscribed core (0 in flat-model runs).
+	CrossRackBytes int64
+	// NetLinks is the per-link end-of-run fabric summary (nil in
+	// flat-model runs).
+	NetLinks []net.LinkStat
 }
 
 // JobFailedError reports a job that terminated itself — stock Hadoop
@@ -235,6 +318,9 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 		simEng.SetFireObserver(sc.OnFire)
 	}
 	clus, interferer := sc.Cluster()
+	if err := validateNet(sc.Name, clus); err != nil {
+		return nil, err
+	}
 	rng := randutil.New(sc.Seed)
 
 	store := dfs.NewStore(clus, sc.Replication, rng.Split("placement"))
@@ -265,6 +351,15 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 		tracer = trace.New(simEng)
 		driver.Trace = tracer
 	}
+	var fabric *net.Fabric
+	if clus.Topology != nil {
+		fabric, err = net.New(simEng, clus)
+		if err != nil {
+			return nil, err
+		}
+		fabric.Trace = tracer
+		driver.Net = fabric
+	}
 	driver.Noise = rng.Split("runtime-noise")
 	driver.NoiseSigma = sc.NoiseSigma
 	if sc.NoiseSigma == 0 {
@@ -277,6 +372,9 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 
 	flexAM, err := buildAM(driver, eng, rng.Split("flexmap"))
 	if err != nil {
+		return nil, err
+	}
+	if err := applyReducePlacement(driver, eng); err != nil {
 		return nil, err
 	}
 	// The engine label is authoritative here: StockAM names itself
@@ -308,6 +406,7 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 	}
 	simEng.RunUntil(deadline)
 	tracer.FinalizeRun()
+	recordNetStats(tracer, fabric, driver.Result.Finished)
 	if driver.Result.Failed {
 		// Export what was collected: a failed job's trace is the artifact
 		// you want most.
@@ -346,6 +445,10 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 	}
 	if flexAM != nil {
 		out.SizeTrace = flexAM.SizeTrace
+	}
+	if fabric != nil {
+		out.CrossRackBytes = fabric.CrossRackBytes()
+		out.NetLinks = fabric.LinkStats(driver.Result.Finished)
 	}
 	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 	"flexmap/internal/faults"
 	"flexmap/internal/metrics"
 	"flexmap/internal/mr"
+	"flexmap/internal/net"
 	"flexmap/internal/randutil"
 	"flexmap/internal/sim"
 	"flexmap/internal/trace"
@@ -128,6 +129,9 @@ type WorkloadResult struct {
 	// that got containers.
 	LatencyP50, LatencyP95, LatencyP99 sim.Duration
 	MeanQueueWait                      sim.Duration
+	// CrossRackBytes is the traffic carried across the oversubscribed
+	// core when the cluster has a topology spec (0 in flat runs).
+	CrossRackBytes int64
 
 	// Cluster is the post-run cluster.
 	Cluster *cluster.Cluster
@@ -257,6 +261,9 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 
 	simEng := sim.NewSharded(sc.Shards)
 	clus, interferer := sc.Cluster()
+	if err := validateNet(sc.Name, clus); err != nil {
+		return nil, err
+	}
 	rng := randutil.New(sc.Seed)
 	store := dfs.NewStore(clus, sc.Replication, rng.Split("placement"))
 	if sc.SkewSigma > 0 {
@@ -276,6 +283,18 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 	var tracer *trace.Tracer
 	if sc.Trace.Enabled() {
 		tracer = trace.New(simEng)
+	}
+	// One fabric serves every job: concurrent jobs' flows contend for the
+	// same links, which is the whole point of the topology model under a
+	// multi-job workload.
+	var fabric *net.Fabric
+	if clus.Topology != nil {
+		var err error
+		fabric, err = net.New(simEng, clus)
+		if err != nil {
+			return nil, err
+		}
+		fabric.Trace = tracer
 	}
 
 	var watcher *yarn.NodeWatcher
@@ -314,7 +333,7 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 			if st.err != nil {
 				return
 			}
-			if err := submitJob(simEng, sc, a, clus, store, rm, mux, cost, noiseSigma, tracer, watcher, target, st); err != nil {
+			if err := submitJob(simEng, sc, a, clus, store, rm, mux, fabric, cost, noiseSigma, tracer, watcher, target, st); err != nil {
 				st.err = err
 				st.stopAll()
 			}
@@ -331,6 +350,15 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 	}
 	simEng.RunUntil(deadline)
 	tracer.FinalizeRun()
+	// Utilization horizon: the last job completion, not the engine clock
+	// (draining lazily-canceled events can push the clock past it).
+	var lastDone sim.Time
+	for _, o := range st.outcomes {
+		if o.Finished > lastDone {
+			lastDone = o.Finished
+		}
+	}
+	recordNetStats(tracer, fabric, lastDone)
 	if st.err != nil {
 		return nil, st.err
 	}
@@ -341,7 +369,11 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 	if err := sc.Trace.Write(tracer); err != nil {
 		return nil, err
 	}
-	return summarize(sc, policy, clus, tracer, simEng, st), nil
+	res := summarize(sc, policy, clus, tracer, simEng, st)
+	if fabric != nil {
+		res.CrossRackBytes = fabric.CrossRackBytes()
+	}
+	return res, nil
 }
 
 // workloadState accumulates per-run progress shared by arrival events.
@@ -359,7 +391,7 @@ type workloadState struct {
 // and registration with the inter-job scheduler.
 func submitJob(simEng *sim.Engine, sc WorkloadScenario, a workload.Arrival,
 	clus *cluster.Cluster, store *dfs.Store, rm *yarn.RM, mux *yarn.InterJob,
-	cost engine.CostModel, noiseSigma float64, tracer *trace.Tracer,
+	fabric *net.Fabric, cost engine.CostModel, noiseSigma float64, tracer *trace.Tracer,
 	watcher *yarn.NodeWatcher, target *multiTarget, st *workloadState) error {
 
 	id := jobID(a.Index)
@@ -380,6 +412,7 @@ func submitJob(simEng *sim.Engine, sc WorkloadScenario, a workload.Arrival,
 		return err
 	}
 	driver.ReduceViaRM = true
+	driver.Net = fabric
 	driver.Trace = tracer.ForJob(id)
 	jobRng := randutil.New(a.Seed)
 	driver.Noise = jobRng.Split("runtime-noise")
@@ -391,6 +424,9 @@ func submitJob(simEng *sim.Engine, sc WorkloadScenario, a workload.Arrival,
 	var am yarn.Scheduler
 	driver.RegisterScheduler = func(s yarn.Scheduler) { am = s }
 	if _, err := buildAM(driver, class.Engine, jobRng.Split("flexmap")); err != nil {
+		return err
+	}
+	if err := applyReducePlacement(driver, class.Engine); err != nil {
 		return err
 	}
 	driver.Result.Engine = class.Engine.String()

@@ -65,6 +65,12 @@ const (
 	KindFaultDetect
 	// KindFaultRecover is a down node heartbeating again (rejoin).
 	KindFaultRecover
+	// KindNetFlowStart is a network flow (map fetch, speculative copy, or
+	// shuffle stream) entering the topology fabric.
+	KindNetFlowStart
+	// KindNetFlowEnd is a flow leaving the fabric — completed or canceled
+	// — with the bytes it actually moved.
+	KindNetFlowEnd
 )
 
 // String names the kind the way the JSONL "kind" field spells it.
@@ -94,6 +100,10 @@ func (k Kind) String() string {
 		return "fault-detect"
 	case KindFaultRecover:
 		return "fault-recover"
+	case KindNetFlowStart:
+		return "net-flow-start"
+	case KindNetFlowEnd:
+		return "net-flow-end"
 	}
 	return "kind-" + strconv.Itoa(int(k))
 }
@@ -371,6 +381,44 @@ func (t *Tracer) FaultRecover(node cluster.NodeID, declared bool) {
 	}
 	t.emit(KindFaultRecover, node, "", Bool("declared", declared))
 	t.inc("faults.recovered", 1)
+}
+
+// NetFlowStart records a flow entering the topology fabric. src is the
+// source node ID, or -1 for an aggregate flow (many senders modeled as
+// one stream); cross marks flows that traverse the oversubscribed core.
+func (t *Tracer) NetFlowStart(task string, dst cluster.NodeID, src int, bytes int64, cross bool) {
+	if t == nil {
+		return
+	}
+	t.emit(KindNetFlowStart, dst, task,
+		Int("src", int64(src)), Int("bytes", bytes), Bool("cross_rack", cross))
+	t.inc("net.flows", 1)
+}
+
+// NetFlowEnd records a flow leaving the fabric with the bytes it actually
+// moved; canceled marks flows stopped early (attempt kill or node crash).
+func (t *Tracer) NetFlowEnd(task string, dst cluster.NodeID, transferred int64, cross bool, dur sim.Duration, canceled bool) {
+	if t == nil {
+		return
+	}
+	t.emit(KindNetFlowEnd, dst, task,
+		Int("bytes", transferred), Bool("cross_rack", cross),
+		Float("dur", float64(dur)), Bool("canceled", canceled))
+	t.inc("net.bytes_transferred", transferred)
+	if cross {
+		t.inc("net.cross_rack_bytes", transferred)
+	}
+}
+
+// NetLinkStats stamps one fabric link's end-of-run totals: bytes carried
+// and mean utilization (carried / capacity × span). The runner calls it
+// per link at finalize, alongside FinalizeRun.
+func (t *Tracer) NetLinkStats(link string, bytes int64, util float64) {
+	if t == nil {
+		return
+	}
+	t.set("net.link."+link+".bytes", float64(bytes))
+	t.set("net.link."+link+".util", util)
 }
 
 // FinalizeRun stamps end-of-run engine gauges (events fired, final
