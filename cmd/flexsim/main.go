@@ -15,12 +15,19 @@
 //	        [-faults 0(crashes/node-hr)] [-fault-downtime 120]
 //	        [-workload 0(jobs)] [-arrival-rate 60] [-arrivals poisson|burst]
 //	        [-policy fifo|fair]
+//	        [-membership 0(spares)] [-autoscale]
 //
 // With -workload N the command runs an open multi-job workload instead
 // of one job: N arrivals of the chosen benchmark/engine (input sizes
 // drawn between half and the full -size-gb), competing for containers
 // under the chosen inter-job policy, printing per-job outcomes plus
 // cluster-level goodput, utilization and latency percentiles.
+//
+// With -membership N the cluster gains N spare nodes under a seeded
+// join/drain/spot-reclaim churn timeline; adding -autoscale replaces the
+// churn with an occupancy-driven policy that rents spares only while the
+// job backlog justifies them. Both modes report node-hours next to the
+// usual metrics.
 package main
 
 import (
@@ -58,7 +65,25 @@ func main() {
 	wlRate := flag.Float64("arrival-rate", 60, "workload arrivals per hour (with -workload)")
 	wlProcess := flag.String("arrivals", "poisson", "workload arrival process: poisson, burst (with -workload)")
 	wlPolicy := flag.String("policy", "fair", "workload inter-job policy: fifo, fair (with -workload)")
+	spares := flag.Int("membership", 0, "provision this many spare nodes under a seeded join/drain churn timeline (0 = static fleet)")
+	autoscale := flag.Bool("autoscale", false, "drive the -membership spare pool from RM occupancy instead of seeded churn")
 	flag.Parse()
+
+	var membership flexmap.MembershipPlan
+	if *spares > 0 {
+		membership = flexmap.MembershipPlan{
+			Spares:        *spares,
+			JoinsPerHour:  6,
+			LeavesPerHour: 2,
+			SpotFraction:  0.25,
+		}
+		if *autoscale {
+			membership.JoinsPerHour, membership.LeavesPerHour, membership.SpotFraction = 0, 0, 0
+			membership.Autoscale = &flexmap.AutoscalePolicy{}
+		}
+	} else if *autoscale {
+		fatalf("-autoscale needs a spare pool; set -membership N")
+	}
 
 	var factory flexmap.ClusterFactory
 	switch *clusterName {
@@ -111,6 +136,7 @@ func main() {
 			skew:        *skew,
 			crashRate:   *crashRate,
 			downtime:    *downtime,
+			membership:  membership,
 			tracePath:   *tracePath,
 			shards:      *shards,
 		})
@@ -118,13 +144,14 @@ func main() {
 	}
 
 	sc := flexmap.Scenario{
-		Name:      *clusterName,
-		Cluster:   factory,
-		Seed:      *seed,
-		InputSize: *sizeGB * flexmap.GB,
-		SkewSigma: *skew,
-		Shards:    *shards,
-		Faults:    flexmap.FaultPlan{CrashRate: *crashRate, MeanDowntime: flexmap.Duration(*downtime)},
+		Name:       *clusterName,
+		Cluster:    factory,
+		Seed:       *seed,
+		InputSize:  *sizeGB * flexmap.GB,
+		SkewSigma:  *skew,
+		Shards:     *shards,
+		Faults:     flexmap.FaultPlan{CrashRate: *crashRate, MeanDowntime: flexmap.Duration(*downtime)},
+		Membership: membership,
 		Trace: flexmap.TraceOptions{
 			Collect:      *timeline,
 			JSONLPath:    *tracePath,
@@ -174,6 +201,10 @@ func main() {
 			res.NodesLost, res.NodesRejoined, res.AttemptsCrashed, res.Preemptions)
 		fmt.Printf("recovery   %d task retries, %d MB re-processed, %d output BUs lost, goodput %.3f\n",
 			res.TaskRetries, res.ReprocessedBytes/flexmap.MB, res.OutputBUsLost, res.Goodput(res.InputBytes))
+	}
+	if sc.Membership.Active() {
+		fmt.Printf("elastic    %d spares provisioned, %.2f node-hours consumed\n",
+			sc.Membership.Spares, res.NodeHours)
 	}
 	if len(res.Output) > 0 {
 		fmt.Printf("live output: %d distinct keys\n", len(res.Output))
@@ -271,6 +302,7 @@ type workloadArgs struct {
 	skew        float64
 	crashRate   float64
 	downtime    float64
+	membership  flexmap.MembershipPlan
 	tracePath   string
 	shards      int
 }
@@ -295,11 +327,12 @@ func runWorkload(a workloadArgs) {
 			Engine:   a.eng,
 			Spec:     a.spec,
 		}},
-		Policy:    a.policy,
-		SkewSigma: a.skew,
-		Faults:    flexmap.FaultPlan{CrashRate: a.crashRate, MeanDowntime: flexmap.Duration(a.downtime)},
-		Shards:    a.shards,
-		Trace:     flexmap.TraceOptions{JSONLPath: a.tracePath},
+		Policy:     a.policy,
+		SkewSigma:  a.skew,
+		Faults:     flexmap.FaultPlan{CrashRate: a.crashRate, MeanDowntime: flexmap.Duration(a.downtime)},
+		Membership: a.membership,
+		Shards:     a.shards,
+		Trace:      flexmap.TraceOptions{JSONLPath: a.tracePath},
 	}
 	switch a.process {
 	case "poisson":
@@ -324,6 +357,10 @@ func runWorkload(a workloadArgs) {
 	fmt.Printf("latency    p50 %.1fs  p95 %.1fs  p99 %.1fs\n",
 		float64(res.LatencyP50), float64(res.LatencyP95), float64(res.LatencyP99))
 	fmt.Printf("queue wait %.1fs mean\n", float64(res.MeanQueueWait))
+	if a.membership.Active() {
+		fmt.Printf("elastic    %d spares provisioned, %.2f node-hours consumed\n",
+			a.membership.Spares, res.NodeHours)
+	}
 
 	fmt.Println("\njobs:")
 	for _, j := range res.Jobs {

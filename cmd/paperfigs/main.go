@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead|faults|workload|netplace]
+//	paperfigs [-exp all|tableI|tableII|fig1|fig2|fig3|fig5|fig6|fig7|fig8|overhead|faults|workload|netplace|autoscale]
 //	          [-seed N] [-scale N] [-bench WC,GR,...] [-parallel N]
 //	          [-trace-dir DIR]
 //
 // netplace (reduce placement × core oversubscription on the topology
-// fabric) is opt-in: it is not part of -exp all, whose output reproduces
-// the paper's flat-network figures byte for byte.
+// fabric) and autoscale (fleet elasticity × engine, cost vs makespan)
+// are opt-in: they are not part of -exp all, whose output reproduces
+// the paper's static flat-network figures byte for byte.
 //
 // -scale divides the paper's input sizes (1 = full scale). -parallel
 // bounds how many simulations run concurrently (0 = one per core,
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, tableI, tableII, fig1, fig2, fig3, fig5, fig6, fig7, fig8, overhead, ablation, skew, faults, workload, netplace; netplace is opt-in and not part of all)")
+	exp := flag.String("exp", "all", "experiment to run (all, tableI, tableII, fig1, fig2, fig3, fig5, fig6, fig7, fig8, overhead, ablation, skew, faults, workload, netplace, autoscale; netplace and autoscale are opt-in and not part of all)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	scale := flag.Int64("scale", 1, "divide paper input sizes by this factor")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (short names, e.g. WC,GR)")
@@ -191,6 +192,16 @@ func main() {
 		r, err := experiments.NetPlace(cfg)
 		if err != nil {
 			fatalf("netplace: %v", err)
+		}
+		fmt.Println(r.Render())
+	}
+	// autoscale is likewise opt-in: the paper's figures are defined on a
+	// static fleet, and "all" must stay byte-identical with or without the
+	// elastic membership layer.
+	if *exp == "autoscale" {
+		r, err := experiments.Autoscale(cfg)
+		if err != nil {
+			fatalf("autoscale: %v", err)
 		}
 		fmt.Println(r.Render())
 	}

@@ -35,6 +35,7 @@ import (
 	"flexmap/internal/cluster"
 	"flexmap/internal/core"
 	"flexmap/internal/dfs"
+	"flexmap/internal/elastic"
 	"flexmap/internal/engine"
 	"flexmap/internal/faults"
 	"flexmap/internal/metrics"
@@ -100,6 +101,20 @@ type (
 	FaultPlan = faults.Plan
 	// FaultEvent is one scheduled fault.
 	FaultEvent = faults.Event
+	// MembershipPlan parameterizes elastic cluster membership: spare
+	// nodes joining, draining out gracefully, or being reclaimed as spot
+	// capacity (Scenario.Membership / WorkloadScenario.Membership). The
+	// zero value provisions nothing.
+	MembershipPlan = elastic.Plan
+	// MembershipEvent is one scheduled membership change
+	// (MembershipPlan.Script).
+	MembershipEvent = elastic.Event
+	// AutoscalePolicy drives a MembershipPlan's spare pool reactively
+	// from ResourceManager occupancy (MembershipPlan.Autoscale); the zero
+	// value of every knob picks the documented default.
+	AutoscalePolicy = elastic.Autoscaler
+	// NodeSpec describes one node's hardware (MembershipPlan.SpareSpec).
+	NodeSpec = cluster.NodeSpec
 	// Duration is a span of simulated time in seconds.
 	Duration = sim.Duration
 	// TraceOptions selects event tracing for a run (Scenario.Trace). The
@@ -132,6 +147,13 @@ type (
 const (
 	Poisson = workload.Poisson
 	Burst   = workload.Burst
+)
+
+// Membership event kinds, re-exported (MembershipEvent.Kind).
+const (
+	MembershipJoin  = elastic.Join
+	MembershipDrain = elastic.Drain
+	MembershipSpot  = elastic.Spot
 )
 
 // RunWorkload executes an open multi-job workload under the scenario's

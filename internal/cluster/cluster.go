@@ -35,6 +35,7 @@ type Node struct {
 
 	interference float64 // current multiplier in (0,1]; 1 = no interference
 	down         bool    // crashed (fault injection); no heartbeats, no work
+	offline      bool    // provisioned but not a cluster member (elastic spare)
 	listeners    []func(*Node)
 	epoch        *uint64 // cluster-wide speed epoch (nil for standalone nodes)
 }
@@ -46,11 +47,18 @@ func (n *Node) bumpEpoch() {
 	}
 }
 
-// Down reports whether the node is crashed. A down node sends no
-// NodeManager heartbeats, accepts no containers, and every task running
-// on it at crash time is dead (the AM only learns via heartbeat-timeout
-// detection — see internal/yarn's NodeWatcher).
-func (n *Node) Down() bool { return n.down }
+// Down reports whether the node is unavailable for work. A down node
+// sends no NodeManager heartbeats, accepts no containers, and every task
+// running on it at crash time is dead (the AM only learns via
+// heartbeat-timeout detection — see internal/yarn's NodeWatcher).
+// Offline spares report down too: every "skip unavailable capacity"
+// check in the scheduler stack applies to not-yet-joined nodes as well.
+func (n *Node) Down() bool { return n.down || n.offline }
+
+// Offline reports whether the node is a provisioned-but-unjoined elastic
+// spare (or a released former member). Distinct from a crash: an offline
+// node is absent by plan, so liveness watchers must not declare it lost.
+func (n *Node) Offline() bool { return n.offline }
 
 // SetDown marks the node crashed or restored. It only flips the flag:
 // killing resident work and reconciling RM capacity are the fault
@@ -161,8 +169,9 @@ type Cluster struct {
 	// caches on it: equal epoch means every node speed is unchanged.
 	speedEpoch uint64
 
-	// totalSlots is fixed at construction; per-node slot counts never
-	// change, and schedulers ask for the total on every probe.
+	// totalSlots is the slot count over cluster *members* (online nodes).
+	// Per-node slot counts never change, but elastic membership moves
+	// whole nodes in and out of the total via JoinNode/ReleaseNode.
 	totalSlots int
 }
 
@@ -204,8 +213,11 @@ func NewCluster(name string, specs []NodeSpec) *Cluster {
 			interference: 1.0,
 			epoch:        &c.speedEpoch,
 		}
+		c.slab[i].offline = s.Offline
 		c.Nodes = append(c.Nodes, &c.slab[i])
-		c.totalSlots += slots
+		if !s.Offline {
+			c.totalSlots += slots
+		}
 	}
 	return c
 }
@@ -216,12 +228,102 @@ type NodeSpec struct {
 	Class     string
 	BaseSpeed float64
 	Slots     int
+	// Offline provisions the node as an elastic spare: it occupies a
+	// NodeID (so topology racks and shard routing are fixed for the whole
+	// run) but is not a member until JoinNode brings it online.
+	Offline bool
 }
 
-// Size returns the number of worker nodes.
+// AddSpares appends n offline spare nodes cut from the given spec
+// (zero-value fields default like NewCluster: 2 slots, speed 1.0) and
+// returns their IDs. Spares extend the tail of the NodeID space, so
+// contiguous rack blocks and the engine's contiguous node→shard blocks
+// stay consistent. Call before any per-node state is sized off the
+// cluster — in practice immediately after the cluster factory, before
+// the DFS, RM, watcher or fabric are built.
+func (c *Cluster) AddSpares(n int, spec NodeSpec) []NodeID {
+	if n <= 0 {
+		return nil
+	}
+	speed := spec.BaseSpeed
+	if speed == 0 {
+		speed = 1.0
+	}
+	slots := spec.Slots
+	if slots == 0 {
+		slots = 2
+	}
+	if speed < 0 || slots < 0 {
+		panic("cluster: spare spec has negative speed or slots")
+	}
+	spares := make([]Node, n)
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		id := NodeID(len(c.Nodes))
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("spare-%02d", i)
+		} else {
+			name = fmt.Sprintf("%s-%02d", spec.Name, i)
+		}
+		spares[i] = Node{
+			ID:           id,
+			Name:         name,
+			Class:        spec.Class,
+			BaseSpeed:    speed,
+			Slots:        slots,
+			interference: 1.0,
+			offline:      true,
+			epoch:        &c.speedEpoch,
+		}
+		c.Nodes = append(c.Nodes, &spares[i])
+		ids[i] = id
+	}
+	return ids
+}
+
+// JoinNode brings an offline spare online: it becomes a member, its
+// slots join the total, and the speed epoch advances so every cached
+// speed-derived percentile re-reads the fleet. Joining an online node is
+// a no-op (the autoscaler and a scheduled plan may race benignly).
+func (c *Cluster) JoinNode(id NodeID) {
+	n := c.Node(id)
+	if !n.offline {
+		return
+	}
+	n.offline = false
+	c.totalSlots += n.Slots
+	n.bumpEpoch()
+}
+
+// ReleaseNode returns a member to the offline pool (elastic scale-in or
+// spot reclaim). Releasing an offline node is a no-op. The node keeps
+// its identity: re-provisioning the same NodeID later is a fresh join.
+func (c *Cluster) ReleaseNode(id NodeID) {
+	n := c.Node(id)
+	if n.offline {
+		return
+	}
+	n.offline = true
+	c.totalSlots -= n.Slots
+	n.bumpEpoch()
+}
+
+// Size returns the number of provisioned worker nodes, online or not.
 func (c *Cluster) Size() int { return len(c.Nodes) }
 
-// TotalSlots returns the number of container slots in the cluster.
+// LiveSize returns the number of cluster members (online nodes).
+func (c *Cluster) LiveSize() int {
+	live := 0
+	for _, n := range c.Nodes {
+		if !n.offline {
+			live++
+		}
+	}
+	return live
+}
+
+// TotalSlots returns the number of container slots over cluster members.
 func (c *Cluster) TotalSlots() int { return c.totalSlots }
 
 // Node returns the node with the given ID. It panics on an unknown ID —
@@ -233,23 +335,31 @@ func (c *Cluster) Node(id NodeID) *Node {
 	return c.Nodes[id]
 }
 
-// SlowestSpeed returns the minimum current effective speed across nodes.
+// SlowestSpeed returns the minimum current effective speed across
+// cluster members (offline spares are not part of the fleet).
 func (c *Cluster) SlowestSpeed() float64 {
-	min := c.Nodes[0].Speed()
-	for _, n := range c.Nodes[1:] {
-		if s := n.Speed(); s < min {
-			min = s
+	min, seen := 0.0, false
+	for _, n := range c.Nodes {
+		if n.offline {
+			continue
+		}
+		if s := n.Speed(); !seen || s < min {
+			min, seen = s, true
 		}
 	}
 	return min
 }
 
-// FastestSpeed returns the maximum current effective speed across nodes.
+// FastestSpeed returns the maximum current effective speed across
+// cluster members.
 func (c *Cluster) FastestSpeed() float64 {
-	max := c.Nodes[0].Speed()
-	for _, n := range c.Nodes[1:] {
-		if s := n.Speed(); s > max {
-			max = s
+	max, seen := 0.0, false
+	for _, n := range c.Nodes {
+		if n.offline {
+			continue
+		}
+		if s := n.Speed(); !seen || s > max {
+			max, seen = s, true
 		}
 	}
 	return max

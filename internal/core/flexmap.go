@@ -54,30 +54,27 @@ type AM struct {
 	activeSpec int
 	waveByNode []int // per-node launch count, indexed by dense NodeID
 
-	// Speculation-candidate cache: the Task-sorted sole-attempt list,
-	// rebuilt only when attempt state moves (attemptEpoch bumps) rather
-	// than on every declined offer. candOrder is the launch-ordered
-	// master list of original attempts, compacted lazily; candidate order
-	// is launch order, which the policy must not depend on (LATE's victim
-	// choice is order-independent).
+	// Speculation candidates, maintained incrementally at each attempt
+	// lifecycle transition instead of rebuilt by scanning attempt state
+	// per probe (see engine.SpecCandidates). attemptEpoch versions the
+	// set for the policy's Pick memoization.
 	attemptEpoch uint64
-	candOrder    []*engine.MapAttempt
-	candBuf      []*engine.MapAttempt
-	candAt       uint64
-	candValid    bool
+	cands        *engine.SpecCandidates
 
 	// SizeTrace records every dispatched task's size for Fig. 7.
 	SizeTrace []SizeSample
 
 	// fairShare cache: totalRel and oneWave are pure functions of the
-	// speed windows (monitor epoch) and the size units (sizer epoch), but
+	// speed windows (monitor epoch), the size units (sizer epoch), and
+	// cluster membership (speed epoch — joins and releases bump it), but
 	// the naive recompute is O(nodes) per offer — quadratic per wave at
-	// 10k nodes. Valid while both epochs stand still.
-	fsValid    bool
-	fsMonAt    uint64
-	fsSizerAt  uint64
-	fsTotalRel float64
-	fsOneWave  int
+	// 10k nodes. Valid while all three epochs stand still.
+	fsValid     bool
+	fsMonAt     uint64
+	fsSizerAt   uint64
+	fsClusterAt uint64
+	fsTotalRel  float64
+	fsOneWave   int
 }
 
 // SizeSample is one dispatched task size, for the Fig. 7 trace.
@@ -105,6 +102,7 @@ func NewAM(d *engine.Driver, rng *randutil.Source) (*AM, error) {
 		rng:        rng,
 		attempts:   make(map[string][]*engine.MapAttempt),
 		completed:  make(map[string]bool),
+		cands:      engine.NewSpecCandidates(),
 		waveByNode: make([]int, d.Cluster.Size()),
 	}
 	d.Result.Engine = am.Name
@@ -125,6 +123,13 @@ func (am *AM) Monitor() *SpeedMonitor { return am.monitor }
 
 // Sizer returns the AM's task sizer.
 func (am *AM) Sizer() *Sizer { return am.sizer }
+
+// RelativeSpeed returns the node's observed speed normalized to the
+// slowest measured node (1.0 when unmeasured) — the signal the elastic
+// autoscaler uses to release the slowest joined spare first.
+func (am *AM) RelativeSpeed(id cluster.NodeID) float64 {
+	return am.monitor.RelativeSpeeds()[id]
+}
 
 // OnSlotFree implements yarn.Scheduler: late task binding, then — once
 // every BU is provisioned — speculation on remaining stragglers.
@@ -178,14 +183,21 @@ func (am *AM) OnSlotFree(node *cluster.Node) bool {
 // caller's current RelativeSpeeds map, passed in so the per-dispatch path
 // computes it exactly once.
 func (am *AM) fairShare(node *cluster.Node, rel float64, rels map[cluster.NodeID]float64) int {
-	if !am.fsValid || am.fsMonAt != am.monitor.Epoch() || am.fsSizerAt != am.sizer.Epoch() {
+	if !am.fsValid || am.fsMonAt != am.monitor.Epoch() || am.fsSizerAt != am.sizer.Epoch() ||
+		am.fsClusterAt != am.d.Cluster.SpeedEpoch() {
 		var totalRel float64
 		oneWave := 0
 		for _, n := range am.d.Cluster.Nodes {
+			// Offline spares are not capacity: counting them would shrink
+			// every member's endgame share toward nodes that bind nothing.
+			if n.Offline() {
+				continue
+			}
 			totalRel += rels[n.ID] * float64(n.Slots)
 			oneWave += n.Slots * am.sizer.TaskSize(int(n.ID), rels[n.ID])
 		}
 		am.fsValid, am.fsMonAt, am.fsSizerAt = true, am.monitor.Epoch(), am.sizer.Epoch()
+		am.fsClusterAt = am.d.Cluster.SpeedEpoch()
 		am.fsTotalRel, am.fsOneWave = totalRel, oneWave
 	}
 	totalRel, oneWave := am.fsTotalRel, am.fsOneWave
@@ -223,8 +235,12 @@ func (am *AM) launch(node *cluster.Node, task string, bus []dfs.BUID, local int,
 		OnDone:      am.onMapDone,
 	})
 	am.attempts[task] = append(am.attempts[task], a)
-	if !speculative {
-		am.candOrder = append(am.candOrder, a)
+	if len(am.attempts[task]) == 1 && !speculative {
+		am.cands.Add(a)
+	} else {
+		// A second live attempt (the speculative copy) disqualifies the
+		// task: there is already a race in flight.
+		am.cands.Remove(task)
 	}
 	am.attemptEpoch++
 }
@@ -238,6 +254,7 @@ func (am *AM) onMapDone(a *engine.MapAttempt) {
 		return // lost a photo-finish race; winner already committed
 	}
 	am.completed[a.Task] = true
+	am.cands.Remove(a.Task)
 	am.d.CommitOutput(a)
 	am.monitor.ReportCompletion(a)
 	for _, other := range am.attempts[a.Task] {
@@ -275,30 +292,7 @@ func (am *AM) trySpeculate(node *cluster.Node) bool {
 	if am.Speculation == nil {
 		return false
 	}
-	if !am.candValid || am.candAt != am.attemptEpoch {
-		am.candBuf = am.candBuf[:0]
-		keep := am.candOrder[:0]
-		for _, a := range am.candOrder {
-			list := am.attempts[a.Task]
-			alive := false
-			for _, o := range list {
-				if o == a {
-					alive = true
-					break
-				}
-			}
-			if !alive {
-				continue // finished or superseded; this pointer never returns
-			}
-			keep = append(keep, a)
-			if !am.completed[a.Task] && len(list) == 1 && !a.Killed() {
-				am.candBuf = append(am.candBuf, a)
-			}
-		}
-		am.candOrder = keep
-		am.candValid, am.candAt = true, am.attemptEpoch
-	}
-	victim := am.Speculation.Pick(am.d, node, am.candBuf, am.attemptEpoch, am.activeSpec)
+	victim := am.Speculation.Pick(am.d, node, am.cands.List(), am.attemptEpoch, am.activeSpec)
 	if victim == nil {
 		return false
 	}
@@ -326,7 +320,15 @@ func (am *AM) placeReducers(d *engine.Driver) []cluster.NodeID {
 		return engine.EvenReducePlacer(d)
 	}
 	caps := am.monitor.NormalizedCapacities()
-	nodes := d.Cluster.Nodes
+	// Sample over members only: an offline spare must neither receive a
+	// reducer nor consume rejection-sampling draws. On a static fleet the
+	// member list is the whole fleet, so the draw sequence is unchanged.
+	nodes := make([]*cluster.Node, 0, d.Cluster.Size())
+	for _, n := range d.Cluster.Nodes {
+		if !n.Offline() {
+			nodes = append(nodes, n)
+		}
+	}
 	assigned := make(map[cluster.NodeID]int, len(nodes))
 	out := make([]cluster.NodeID, d.Spec.NumReducers)
 	for r := range out {

@@ -95,7 +95,10 @@ func (am *AM) checkMapsDone() {
 }
 
 // dropAttempt removes a dead attempt from the task's live-attempt list
-// and returns how many live attempts the task still has.
+// and returns how many live attempts the task still has. The
+// speculation-candidate set is reconciled in place: a surviving sole
+// original (its speculative rival just died) is promoted back to
+// candidacy; anything else disqualifies the task.
 func (am *AM) dropAttempt(a *engine.MapAttempt) int {
 	list := am.attempts[a.Task]
 	for i, other := range list {
@@ -106,10 +109,14 @@ func (am *AM) dropAttempt(a *engine.MapAttempt) int {
 	}
 	if len(list) == 0 {
 		delete(am.attempts, a.Task)
-		am.attemptEpoch++
-		return 0
+	} else {
+		am.attempts[a.Task] = list
 	}
-	am.attempts[a.Task] = list
+	if len(list) == 1 && !list[0].Speculative && !list[0].Killed() && !am.completed[a.Task] {
+		am.cands.Add(list[0])
+	} else {
+		am.cands.Remove(a.Task)
+	}
 	am.attemptEpoch++
 	return len(list)
 }

@@ -65,13 +65,14 @@ type Store struct {
 }
 
 // NewStore creates an empty store over the given cluster. replication 0
-// means DefaultReplication; it is capped at the cluster size.
+// means DefaultReplication; it is capped at the cluster's member count
+// (offline elastic spares store no data until they join).
 func NewStore(c *cluster.Cluster, replication int, rng *randutil.Source) *Store {
 	if replication <= 0 {
 		replication = DefaultReplication
 	}
-	if replication > c.Size() {
-		replication = c.Size()
+	if live := c.LiveSize(); replication > live {
+		replication = live
 	}
 	s := &Store{
 		cluster:     c,
@@ -160,10 +161,16 @@ func (s *Store) pickReplicaNodes() []cluster.NodeID {
 	}
 	// One scan keeping the `replication` best (load, tie) pairs — a full
 	// sort of the fleet per BU is O(n log n) and dominated 10k-node setup.
-	// Every node still draws a tie value, so the random stream (and with
-	// it every downstream placement) matches the old sorted version.
+	// Every member node still draws a tie value, so the random stream (and
+	// with it every downstream placement) matches the old sorted version.
+	// Offline spares neither draw nor qualify: base-fleet placement is
+	// identical whether or not a run provisions spares, and a spare that
+	// has joined by the time a file is added receives replicas normally.
 	best := make([]cand, 0, s.replication)
 	for _, n := range s.cluster.Nodes {
+		if n.Offline() {
+			continue
+		}
 		c := cand{n.ID, s.nodeLoad[n.ID], s.rng.Int63()}
 		if len(best) == s.replication {
 			w := best[len(best)-1]
@@ -180,7 +187,10 @@ func (s *Store) pickReplicaNodes() []cluster.NodeID {
 		copy(best[i+1:], best[i:])
 		best[i] = c
 	}
-	out := make([]cluster.NodeID, s.replication)
+	// Fewer members than the replication factor (elastic scale-in below
+	// the store's initial member count) degrades gracefully to the
+	// members available, like HDFS under-replication.
+	out := make([]cluster.NodeID, len(best))
 	for i := range out {
 		out[i] = best[i].id
 	}

@@ -1,0 +1,340 @@
+package elastic
+
+import (
+	"reflect"
+	"testing"
+
+	"flexmap/internal/cluster"
+	"flexmap/internal/sim"
+)
+
+// fakeRM records capacity calls and serves a scripted occupancy.
+type fakeRM struct {
+	calls []string
+	busy  int
+	slots int
+}
+
+func (f *fakeRM) NodeJoined(id cluster.NodeID)   { f.calls = append(f.calls, "joined") }
+func (f *fakeRM) DrainNode(id cluster.NodeID)    { f.calls = append(f.calls, "drain") }
+func (f *fakeRM) NodeReleased(id cluster.NodeID) { f.calls = append(f.calls, "released") }
+func (f *fakeRM) Occupancy() (int, int)          { return f.busy, f.slots }
+
+// fakeDrainer records evictions and reports a fixed preempted count.
+type fakeDrainer struct {
+	drained   []cluster.NodeID
+	preempted int
+}
+
+func (f *fakeDrainer) DrainNode(id cluster.NodeID) int {
+	f.drained = append(f.drained, id)
+	return f.preempted
+}
+
+// fakeWatcher records liveness registration flips.
+type fakeWatcher struct{ calls []string }
+
+func (f *fakeWatcher) Register(id cluster.NodeID)   { f.calls = append(f.calls, "register") }
+func (f *fakeWatcher) Deregister(id cluster.NodeID) { f.calls = append(f.calls, "deregister") }
+
+type harness struct {
+	eng     *sim.Engine
+	c       *cluster.Cluster
+	rm      *fakeRM
+	drainer *fakeDrainer
+	watcher *fakeWatcher
+	spares  []cluster.NodeID
+	ctl     *Controller
+}
+
+func newHarness(t *testing.T, plan Plan, spares int) *harness {
+	t.Helper()
+	h := &harness{
+		eng:     sim.New(),
+		c:       cluster.Homogeneous(4),
+		rm:      &fakeRM{},
+		drainer: &fakeDrainer{},
+		watcher: &fakeWatcher{},
+	}
+	h.spares = h.c.AddSpares(spares, cluster.NodeSpec{})
+	h.ctl = NewController(h.eng, h.c, h.rm, plan, h.spares)
+	h.ctl.AddDrainer(h.drainer)
+	h.ctl.SetWatcher(h.watcher)
+	return h
+}
+
+func scriptPlan(script ...Event) Plan {
+	return Plan{Spares: 2, Notice: 30, SpotNotice: 5, Script: script}
+}
+
+func TestControllerJoin(t *testing.T) {
+	h := newHarness(t, Plan{Spares: 2, Script: []Event{{At: 10, Node: 4, Kind: Join}}}, 2)
+	h.ctl.Start(1)
+	if len(h.ctl.Schedule()) != 1 {
+		t.Fatalf("armed %d events, want 1", len(h.ctl.Schedule()))
+	}
+	h.eng.RunUntil(5)
+	if !h.c.Node(h.spares[0]).Offline() {
+		t.Fatal("spare online before its join fired")
+	}
+	h.eng.RunUntil(20)
+	if h.c.Node(h.spares[0]).Offline() {
+		t.Fatal("spare still offline after join")
+	}
+	if want := []string{"joined"}; !reflect.DeepEqual(h.rm.calls, want) {
+		t.Fatalf("rm calls = %v, want %v", h.rm.calls, want)
+	}
+	if want := []string{"register"}; !reflect.DeepEqual(h.watcher.calls, want) {
+		t.Fatalf("watcher calls = %v, want %v", h.watcher.calls, want)
+	}
+	if h.ctl.Joins != 1 {
+		t.Fatalf("Joins = %d, want 1", h.ctl.Joins)
+	}
+}
+
+func TestControllerJoinIdempotent(t *testing.T) {
+	h := newHarness(t, scriptPlan(
+		Event{At: 10, Node: 4, Kind: Join},
+		Event{At: 12, Node: 4, Kind: Join},
+		Event{At: 14, Node: 99, Kind: Join}, // not a spare
+	), 2)
+	h.ctl.Start(1)
+	h.eng.RunUntil(20)
+	if h.ctl.Joins != 1 {
+		t.Fatalf("Joins = %d, want 1 (double join and non-spare are no-ops)", h.ctl.Joins)
+	}
+}
+
+func TestControllerDrainThenRelease(t *testing.T) {
+	h := newHarness(t, scriptPlan(
+		Event{At: 10, Node: 4, Kind: Join},
+		Event{At: 20, Node: 4, Kind: Drain},
+	), 2)
+	h.drainer.preempted = 2
+	h.ctl.Start(1)
+	h.eng.RunUntil(40) // drained at 20, release pending until 50
+	if h.c.Node(h.spares[0]).Offline() {
+		t.Fatal("node released before the notice elapsed")
+	}
+	if want := []string{"joined", "drain"}; !reflect.DeepEqual(h.rm.calls, want) {
+		t.Fatalf("rm calls during notice = %v, want %v", h.rm.calls, want)
+	}
+	h.eng.RunUntil(60)
+	if !h.c.Node(h.spares[0]).Offline() {
+		t.Fatal("node not offline after release")
+	}
+	if want := []string{"joined", "drain", "released"}; !reflect.DeepEqual(h.rm.calls, want) {
+		t.Fatalf("rm calls = %v, want %v", h.rm.calls, want)
+	}
+	if want := []string{"register", "deregister"}; !reflect.DeepEqual(h.watcher.calls, want) {
+		t.Fatalf("watcher calls = %v, want %v", h.watcher.calls, want)
+	}
+	if want := []cluster.NodeID{4}; !reflect.DeepEqual(h.drainer.drained, want) {
+		t.Fatalf("drained = %v, want %v", h.drainer.drained, want)
+	}
+	if h.ctl.Drains != 1 || h.ctl.Releases != 1 {
+		t.Fatalf("Drains/Releases = %d/%d, want 1/1", h.ctl.Drains, h.ctl.Releases)
+	}
+}
+
+func TestControllerSpotUsesShortNotice(t *testing.T) {
+	h := newHarness(t, scriptPlan(
+		Event{At: 10, Node: 4, Kind: Join},
+		Event{At: 20, Node: 4, Kind: Spot},
+	), 2)
+	h.ctl.Start(1)
+	h.eng.RunUntil(26) // SpotNotice 5 → release at 25
+	if !h.c.Node(h.spares[0]).Offline() {
+		t.Fatal("spot reclaim did not release at the short notice")
+	}
+}
+
+func TestControllerDrainNoOps(t *testing.T) {
+	h := newHarness(t, scriptPlan(
+		Event{At: 10, Node: 4, Kind: Drain}, // never joined
+		Event{At: 20, Node: 5, Kind: Join},
+		Event{At: 30, Node: 5, Kind: Drain},
+		Event{At: 32, Node: 5, Kind: Drain}, // already draining
+		Event{At: 34, Node: 5, Kind: Join},  // draining nodes don't rejoin
+	), 2)
+	h.ctl.Start(1)
+	h.eng.RunUntil(100)
+	if h.ctl.Drains != 1 {
+		t.Fatalf("Drains = %d, want 1", h.ctl.Drains)
+	}
+	if h.ctl.Joins != 1 {
+		t.Fatalf("Joins = %d, want 1", h.ctl.Joins)
+	}
+	if !h.c.Node(h.spares[1]).Offline() {
+		t.Fatal("drained spare should be offline at the end")
+	}
+}
+
+func TestControllerStopGatesPendingRelease(t *testing.T) {
+	h := newHarness(t, scriptPlan(
+		Event{At: 10, Node: 4, Kind: Join},
+		Event{At: 20, Node: 4, Kind: Drain},
+	), 2)
+	h.ctl.Start(1)
+	h.eng.RunUntil(25) // drain applied, release pending at 50
+	h.ctl.Stop()
+	h.eng.RunUntil(100)
+	if h.ctl.Releases != 0 {
+		t.Fatalf("Releases after Stop = %d, want 0", h.ctl.Releases)
+	}
+	if len(h.drainer.drained) != 0 {
+		t.Fatal("drainer called after Stop")
+	}
+}
+
+func TestControllerAccounting(t *testing.T) {
+	h := newHarness(t, scriptPlan(
+		Event{At: 100, Node: 4, Kind: Join},
+		Event{At: 200, Node: 4, Kind: Drain}, // released at 230
+	), 2)
+	h.ctl.Start(1)
+	h.eng.RunUntil(1000)
+	// 4 base nodes for the whole span, one spare joined for 130 s.
+	wantHours := (4*1000.0 + 130) / 3600
+	if got := h.ctl.NodeHours(1000); got != wantHours {
+		t.Fatalf("NodeHours = %v, want %v", got, wantHours)
+	}
+	slots := float64(h.c.Node(h.spares[0]).Slots)
+	wantSlotSecs := float64(h.ctl.baseSlots)*1000 + 130*slots
+	if got := h.ctl.SlotSeconds(1000); got != wantSlotSecs {
+		t.Fatalf("SlotSeconds = %v, want %v", got, wantSlotSecs)
+	}
+}
+
+func TestControllerAccountingOpenInterval(t *testing.T) {
+	h := newHarness(t, scriptPlan(Event{At: 100, Node: 4, Kind: Join}), 2)
+	h.ctl.Start(1)
+	h.eng.RunUntil(500)
+	// Still joined at the horizon: the open interval counts to "until".
+	want := (4*500.0 + 400) / 3600
+	if got := h.ctl.NodeHours(500); got != want {
+		t.Fatalf("NodeHours = %v, want %v", got, want)
+	}
+}
+
+func autoPlan() Plan {
+	return Plan{
+		Spares:     2,
+		Notice:     10,
+		SpotNotice: 5,
+		Autoscale:  &Autoscaler{Interval: 10, HighWater: 0.8, LowWater: 0.2, Streak: 2, Cooldown: 15},
+	}
+}
+
+func TestAutoscalerScaleOutAfterStreak(t *testing.T) {
+	h := newHarness(t, autoPlan(), 2)
+	h.rm.busy, h.rm.slots = 8, 8 // saturated
+	h.ctl.Start(1)
+	h.eng.RunUntil(11)
+	if h.ctl.Joins != 0 {
+		t.Fatal("scaled out after one tick; streak is 2")
+	}
+	h.eng.RunUntil(21)
+	if h.ctl.Joins != 1 {
+		t.Fatalf("Joins after streak = %d, want 1", h.ctl.Joins)
+	}
+	if h.c.Node(h.spares[0]).Offline() {
+		t.Fatal("scale-out should join the lowest-ID offline spare")
+	}
+	// Cooldown 15 spans the next tick; the one after may act again.
+	h.eng.RunUntil(31)
+	if h.ctl.Joins != 1 {
+		t.Fatalf("Joins during cooldown = %d, want 1", h.ctl.Joins)
+	}
+	h.eng.RunUntil(51)
+	if h.ctl.Joins != 2 {
+		t.Fatalf("Joins after cooldown = %d, want 2", h.ctl.Joins)
+	}
+}
+
+func TestAutoscalerScaleInPicksSlowest(t *testing.T) {
+	h := newHarness(t, autoPlan(), 2)
+	h.rm.busy, h.rm.slots = 8, 8
+	speeds := map[cluster.NodeID]float64{4: 0.5, 5: 2.0}
+	h.ctl.Speeds = func(id cluster.NodeID) float64 { return speeds[id] }
+	h.ctl.Start(1)
+	h.eng.RunUntil(55) // both spares join (saturation persists)
+	if h.ctl.Joins != 2 {
+		t.Fatalf("Joins = %d, want 2", h.ctl.Joins)
+	}
+	h.rm.busy = 0 // idle: scale in
+	h.eng.RunUntil(200)
+	if h.ctl.Drains == 0 {
+		t.Fatal("no scale-in despite idle occupancy")
+	}
+	if got := h.drainer.drained[0]; got != 4 {
+		t.Fatalf("first release = node %d, want the slowest (4)", got)
+	}
+}
+
+func TestAutoscalerScaleInWithoutSpeeds(t *testing.T) {
+	h := newHarness(t, autoPlan(), 2)
+	h.rm.busy, h.rm.slots = 8, 8
+	h.ctl.Start(1)
+	h.eng.RunUntil(55)
+	h.rm.busy = 0
+	h.eng.RunUntil(100)
+	if h.ctl.Drains == 0 {
+		t.Fatal("no scale-in despite idle occupancy")
+	}
+	if got := h.drainer.drained[0]; got != 5 {
+		t.Fatalf("first release = node %d, want the highest ID (5)", got)
+	}
+}
+
+func TestAutoscalerNoSlotsNoAction(t *testing.T) {
+	h := newHarness(t, autoPlan(), 2)
+	h.rm.busy, h.rm.slots = 0, 0
+	h.ctl.Start(1)
+	h.eng.RunUntil(100)
+	if h.ctl.Joins != 0 || h.ctl.Drains != 0 {
+		t.Fatal("autoscaler acted with zero reported slots")
+	}
+}
+
+func TestAutoscalerExhaustedPool(t *testing.T) {
+	h := newHarness(t, autoPlan(), 0) // no spares provisioned
+	h.rm.busy, h.rm.slots = 8, 8
+	h.ctl.Start(1)
+	h.eng.RunUntil(100)
+	if h.ctl.Joins != 0 {
+		t.Fatal("joined with an empty spare pool")
+	}
+}
+
+// The autoscaler's decisions are a pure function of the occupancy
+// sequence it observes: two identical runs act identically.
+func TestAutoscalerDeterministic(t *testing.T) {
+	type action struct {
+		joins, drains int
+	}
+	run := func() []action {
+		h := newHarness(t, autoPlan(), 2)
+		h.rm.slots = 8
+		// Scripted occupancy: saturate for 60 s, idle for 140 s.
+		h.eng.At(0, "load", func() { h.rm.busy = 8 })
+		h.eng.At(60, "unload", func() { h.rm.busy = 0 })
+		h.ctl.Start(7)
+		var log []action
+		for _, at := range []sim.Time{50, 100, 200} {
+			at := at
+			h.eng.At(at, "sample", func() {
+				log = append(log, action{h.ctl.Joins, h.ctl.Drains})
+			})
+		}
+		h.eng.RunUntil(200)
+		return log
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical runs diverged: %v vs %v", a, b)
+	}
+	if a[len(a)-1].drains == 0 {
+		t.Fatal("expected at least one scale-in over the idle window")
+	}
+}

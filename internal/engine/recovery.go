@@ -120,6 +120,51 @@ func (d *Driver) PreemptContainer(id cluster.NodeID) bool {
 	return true
 }
 
+// DrainNode evicts this driver's work still resident on a node whose
+// decommission notice has expired — the elastic controller calls it
+// right after the node leaves the cluster. Unlike a crash the AM hears
+// synchronously: running maps are preempted (FlexMap rescues each
+// attempt's processed BU prefix, stock re-queues the split with no
+// retry charge), running reduce attempts restart elsewhere, and queued
+// reduce partitions migrate. Committed map output survives — a
+// decommission copies intermediate data out before the machine goes
+// away, so downstream reducers re-fetch nothing. It returns the number
+// of map attempts preempted (0 for a fully graceful drain).
+func (d *Driver) DrainNode(id cluster.NodeID) int {
+	if d.finished {
+		return 0
+	}
+	preempted := 0
+	for _, a := range d.RunningMapsOn(id) {
+		if !a.kill(true) {
+			continue
+		}
+		preempted++
+		d.Result.AttemptsCrashed++
+		d.Result.Preemptions++
+		if d.recovery != nil {
+			d.recovery.OnPreempted(a)
+		}
+		a.Container.Release()
+	}
+	for _, rr := range append([]*reduceRun(nil), d.runningReduce[id]...) {
+		rr.crash()
+	}
+	// Deliver any still-pending crashed work now: the node is leaving
+	// liveness tracking, so the detection/rejoin that would otherwise
+	// deliver it will never come. This also requeues the reduce
+	// partitions crashed just above.
+	d.deliverCrashed(id, nil)
+	if d.mapsFinished && !d.finished {
+		if q := d.reduceQueues[id]; len(q) > 0 {
+			delete(d.reduceQueues, id)
+			d.requeueReduces(q)
+		}
+	}
+	d.RM.Poke()
+	return preempted
+}
+
 // nodeLost handles a heartbeat-timeout loss declaration: resident map
 // output is gone with the node's disk, crashed work is delivered to the
 // AM, and queued reduce work migrates to live nodes.

@@ -11,11 +11,20 @@ import (
 )
 
 // EvenReducePlacer is stock Hadoop's policy: reducers dispatched evenly
-// (round-robin) across all nodes regardless of capacity or data locality.
+// (round-robin) across cluster members regardless of capacity or data
+// locality. Offline elastic spares are not members and get nothing; on a
+// static fleet the member list is the whole fleet, byte-identical to the
+// pre-elastic round-robin.
 func EvenReducePlacer(d *Driver) []cluster.NodeID {
+	members := make([]cluster.NodeID, 0, d.Cluster.Size())
+	for _, n := range d.Cluster.Nodes {
+		if !n.Offline() {
+			members = append(members, n.ID)
+		}
+	}
 	out := make([]cluster.NodeID, d.Spec.NumReducers)
 	for i := range out {
-		out[i] = d.Cluster.Nodes[i%d.Cluster.Size()].ID
+		out[i] = members[i%len(members)]
 	}
 	return out
 }

@@ -1,0 +1,57 @@
+package engine
+
+// SpecCandidates maintains the speculation-candidate set incrementally:
+// the sole running non-speculative attempt of each incomplete task. The
+// AMs used to rebuild this set from a launch-ordered master list on the
+// first probe after every attempt-state change — an O(attempts) scan
+// that, under concurrent-workload load, ran once per heartbeat per job
+// and dominated stock-engine profiles. Mutations are O(1): at most one
+// candidate exists per task (a second live attempt disqualifies both),
+// so membership is a task-keyed index over a swap-remove slice.
+//
+// The slice order is mutation order, not launch order; policies must
+// treat it as a set. LATE does: its threshold is the k-th smallest
+// progress rate and its victim the unique longest-remaining straggler
+// with a lexicographic tie-break, so candidate order never reaches the
+// outcome.
+type SpecCandidates struct {
+	list []*MapAttempt
+	pos  map[string]int // Task → index in list
+}
+
+// NewSpecCandidates returns an empty candidate set.
+func NewSpecCandidates() *SpecCandidates {
+	return &SpecCandidates{pos: make(map[string]int)}
+}
+
+// Add inserts (or replaces) the task's candidate attempt.
+func (s *SpecCandidates) Add(a *MapAttempt) {
+	if i, ok := s.pos[a.Task]; ok {
+		s.list[i] = a
+		return
+	}
+	s.pos[a.Task] = len(s.list)
+	s.list = append(s.list, a)
+}
+
+// Remove drops the task's candidate, if any (no-op otherwise).
+func (s *SpecCandidates) Remove(task string) {
+	i, ok := s.pos[task]
+	if !ok {
+		return
+	}
+	last := len(s.list) - 1
+	moved := s.list[last]
+	s.list[i] = moved
+	s.pos[moved.Task] = i
+	s.list[last] = nil
+	s.list = s.list[:last]
+	delete(s.pos, task)
+}
+
+// List returns the live candidate set. The slice is owned by the set
+// and valid until the next mutation; callers must not retain it.
+func (s *SpecCandidates) List() []*MapAttempt { return s.list }
+
+// Len returns the number of candidates.
+func (s *SpecCandidates) Len() int { return len(s.list) }

@@ -62,21 +62,14 @@ type StockAM struct {
 	remoteAllowedAt []sim.Time
 	activeSpec      int
 
-	// Speculation-candidate cache: the launch-ordered list of sole-attempt
-	// tasks, rebuilt only when attempt state moves (attemptEpoch bumps).
-	// Offers greatly outnumber attempt-state changes, and rebuilding the
-	// list per declined offer used to dominate stock-engine runs.
-	// candOrder is the master list: every original (non-speculative)
-	// attempt in launch order — deterministic, because launches happen
-	// inside serially fired events — compacted lazily as attempts retire.
-	// Policies must treat the candidate slice as a set; LATE's victim is
-	// the unique below-threshold straggler with the longest estimated
-	// remaining time, so candidate order never reaches the outcome.
+	// Speculation candidates, maintained incrementally at each attempt
+	// lifecycle transition instead of rebuilt by scanning attempt state
+	// per probe — under concurrent-workload load the scans were quadratic
+	// in job size per heartbeat. attemptEpoch versions the set for the
+	// policy's Pick memoization; it also bumps on liveness-only changes
+	// (kills delivered later) that leave the set untouched.
 	attemptEpoch uint64
-	candOrder    []*MapAttempt
-	candBuf      []*MapAttempt
-	candAt       uint64
-	candValid    bool
+	cands        *SpecCandidates
 
 	// MaxTaskAttempts bounds executions of one task (Hadoop's
 	// mapreduce.map.maxattempts, default 4): the job fails when a task
@@ -111,6 +104,7 @@ func NewStockAM(d *Driver, splitBUs int, speculation SpeculationPolicy) (*StockA
 		d:               d,
 		attempts:        make(map[string][]*MapAttempt),
 		completed:       make(map[string]bool),
+		cands:           NewSpecCandidates(),
 		waveByNode:      make([]int, d.Cluster.Size()),
 		remoteAllowedAt: make([]sim.Time, d.Cluster.Size()),
 		splitByTask:     make(map[string]PendingSplit),
@@ -239,8 +233,12 @@ func (am *StockAM) launch(node *cluster.Node, p PendingSplit, speculative bool) 
 		OnDone:          am.onMapDone,
 	})
 	am.attempts[p.Task] = append(am.attempts[p.Task], a)
-	if !speculative {
-		am.candOrder = append(am.candOrder, a)
+	if len(am.attempts[p.Task]) == 1 && !speculative {
+		am.cands.Add(a)
+	} else {
+		// A second live attempt (the speculative copy) disqualifies the
+		// task: there is already a race in flight.
+		am.cands.Remove(p.Task)
 	}
 	am.attemptEpoch++
 }
@@ -254,6 +252,7 @@ func (am *StockAM) onMapDone(a *MapAttempt) {
 		return // lost a photo-finish race; winner already committed
 	}
 	am.completed[a.Task] = true
+	am.cands.Remove(a.Task)
 	am.attemptEpoch++
 	am.d.CommitOutput(a)
 	// Kill losing attempts of the same task.
@@ -286,6 +285,7 @@ func (am *StockAM) KillTaskAttempts(task string) []*MapAttempt {
 		}
 	}
 	delete(am.attempts, task)
+	am.cands.Remove(task)
 	am.attemptEpoch++
 	return killed
 }
@@ -372,7 +372,10 @@ func (am *StockAM) requeueWithBackoff(task string, waste int64) {
 	})
 }
 
-// dropAttempt removes a dead attempt from the task's live-attempt list.
+// dropAttempt removes a dead attempt from the task's live-attempt list
+// and reconciles the speculation-candidate set: a surviving sole
+// original (its speculative rival just died) is promoted back to
+// candidacy; anything else disqualifies the task.
 func (am *StockAM) dropAttempt(a *MapAttempt) {
 	list := am.attempts[a.Task]
 	for i, other := range list {
@@ -385,6 +388,11 @@ func (am *StockAM) dropAttempt(a *MapAttempt) {
 		delete(am.attempts, a.Task)
 	} else {
 		am.attempts[a.Task] = list
+	}
+	if len(list) == 1 && !list[0].Speculative && !list[0].Killed() && !am.completed[a.Task] {
+		am.cands.Add(list[0])
+	} else {
+		am.cands.Remove(a.Task)
 	}
 	am.attemptEpoch++
 }
@@ -424,31 +432,7 @@ func (am *StockAM) trySpeculate(node *cluster.Node) bool {
 	if am.Speculation == nil {
 		return false
 	}
-	if !am.candValid || am.candAt != am.attemptEpoch {
-		am.candBuf = am.candBuf[:0]
-		keep := am.candOrder[:0]
-		for _, a := range am.candOrder {
-			list := am.attempts[a.Task]
-			alive := false
-			for _, o := range list {
-				if o == a {
-					alive = true
-					break
-				}
-			}
-			if !alive {
-				continue // finished or superseded; this pointer never returns
-			}
-			keep = append(keep, a)
-			if !am.completed[a.Task] && len(list) == 1 && !a.Killed() {
-				am.candBuf = append(am.candBuf, a)
-			}
-		}
-		am.candOrder = keep
-		am.candValid, am.candAt = true, am.attemptEpoch
-	}
-	candidates := am.candBuf
-	victim := am.Speculation.Pick(am.d, node, candidates, am.attemptEpoch, am.activeSpec)
+	victim := am.Speculation.Pick(am.d, node, am.cands.List(), am.attemptEpoch, am.activeSpec)
 	if victim == nil {
 		return false
 	}

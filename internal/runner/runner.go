@@ -11,6 +11,7 @@ import (
 	"flexmap/internal/cluster"
 	"flexmap/internal/core"
 	"flexmap/internal/dfs"
+	"flexmap/internal/elastic"
 	"flexmap/internal/engine"
 	"flexmap/internal/faults"
 	"flexmap/internal/mr"
@@ -189,6 +190,16 @@ type Scenario struct {
 	// or scheduling randomness.
 	Faults faults.Plan
 
+	// Membership provisions spare nodes and applies a seeded elastic
+	// timeline — joins, graceful drains, spot preemptions — and optionally
+	// an autoscaler (see internal/elastic). The zero value provisions
+	// nothing and adds nothing to the run, so static output is
+	// byte-identical with or without this field existing. The timeline
+	// derives from Seed via the "membership" split, and offline spares
+	// draw no placement randomness, so enabling membership never perturbs
+	// placement, noise or scheduling randomness of the base fleet.
+	Membership elastic.Plan
+
 	// Shards is the event-queue shard count for the run (0 or 1 = one
 	// queue). Sharding partitions nodes across per-shard queues and
 	// parallelizes the heartbeat sweeps, but every output — fired-event
@@ -238,6 +249,11 @@ type Result struct {
 	// NetLinks is the per-link end-of-run fabric summary (nil in
 	// flat-model runs).
 	NetLinks []net.LinkStat
+	// NodeHours is machine-hours consumed over the run: base nodes for
+	// the whole span plus each spare's joined intervals — the cost axis
+	// the autoscale experiment plots against makespan. Static runs report
+	// cluster size × makespan.
+	NodeHours float64
 }
 
 // JobFailedError reports a job that terminated itself — stock Hadoop
@@ -318,6 +334,14 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 		simEng.SetFireObserver(sc.OnFire)
 	}
 	clus, interferer := sc.Cluster()
+	// Spares must exist before anything sizes per-node state off the
+	// cluster (DFS placement, RM slots, driver, topology racks); they
+	// start offline, store no blocks, and draw no randomness, so the base
+	// fleet's run is untouched until a join fires.
+	var spares []cluster.NodeID
+	if sc.Membership.Active() {
+		spares = clus.AddSpares(sc.Membership.Spares, sc.Membership.SpareSpec)
+	}
 	if err := validateNet(sc.Name, clus); err != nil {
 		return nil, err
 	}
@@ -382,6 +406,7 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 	// would collide in comparisons that include the no-spec ablation.
 	driver.Result.Engine = eng.String()
 
+	var watcher *yarn.NodeWatcher
 	if sc.Faults.Active() {
 		if sc.InputData != nil {
 			return nil, fmt.Errorf("runner: scenario %q combines fault injection with live input data (re-execution would duplicate live mapper output)", sc.Name)
@@ -389,7 +414,7 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 		if eng.Kind == SkewTune {
 			return nil, fmt.Errorf("runner: fault injection is not supported for %s (repartition/recovery interplay is unmodeled)", eng)
 		}
-		watcher := yarn.NewNodeWatcher(simEng, clus, rm)
+		watcher = yarn.NewNodeWatcher(simEng, clus, rm)
 		watcher.Trace = tracer
 		driver.AttachWatcher(watcher)
 		inj := faults.NewInjector(simEng, clus,
@@ -397,6 +422,27 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 		inj.Trace = tracer
 		driver.OnFinished(inj.Stop)
 		inj.Start()
+	}
+
+	var ctl *elastic.Controller
+	if sc.Membership.Active() {
+		if sc.InputData != nil {
+			return nil, fmt.Errorf("runner: scenario %q combines elastic membership with live input data (drain re-execution would duplicate live mapper output)", sc.Name)
+		}
+		if eng.Kind == SkewTune {
+			return nil, fmt.Errorf("runner: elastic membership is not supported for %s (repartition/decommission interplay is unmodeled)", eng)
+		}
+		ctl = elastic.NewController(simEng, clus, rm, sc.Membership, spares)
+		ctl.Trace = tracer
+		ctl.AddDrainer(driver)
+		if watcher != nil {
+			ctl.SetWatcher(watcher)
+		}
+		if flexAM != nil {
+			ctl.Speeds = flexAM.RelativeSpeed
+		}
+		driver.OnFinished(ctl.Stop)
+		ctl.Start(rng.Split("membership").Seed())
 	}
 
 	rm.Start()
@@ -407,6 +453,10 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 	simEng.RunUntil(deadline)
 	tracer.FinalizeRun()
 	recordNetStats(tracer, fabric, driver.Result.Finished)
+	nodeHours := float64(clus.Size()) * float64(driver.Result.Finished) / 3600
+	if ctl != nil {
+		nodeHours = ctl.NodeHours(driver.Result.Finished)
+	}
 	if driver.Result.Failed {
 		// Export what was collected: a failed job's trace is the artifact
 		// you want most.
@@ -424,6 +474,7 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 				InputBytes: sc.InputSize,
 				Trace:      tracer,
 				SimEvents:  simEng.Fired(),
+				NodeHours:  nodeHours,
 			},
 		}
 	}
@@ -442,6 +493,7 @@ func Run(sc Scenario, spec mr.JobSpec, eng Engine) (*Result, error) {
 		InputBytes: sc.InputSize,
 		Trace:      tracer,
 		SimEvents:  simEng.Fired(),
+		NodeHours:  nodeHours,
 	}
 	if flexAM != nil {
 		out.SizeTrace = flexAM.SizeTrace

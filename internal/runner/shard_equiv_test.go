@@ -5,10 +5,12 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"flexmap/internal/cluster"
 	"flexmap/internal/dfs"
+	"flexmap/internal/elastic"
 	"flexmap/internal/faults"
 	"flexmap/internal/mr"
 	"flexmap/internal/sim"
@@ -188,6 +190,141 @@ func TestShardEquivalenceWithFaults(t *testing.T) {
 				compareResults(t, label, gotR, wantR)
 			}
 		})
+	}
+}
+
+// equivMembership is the battery's canonical churn plan: scripted
+// early join/drain so fleet changes land inside even the shortest cell,
+// plus drawn churn and a spot reclaim on top. Notice periods are short
+// for the same reason.
+func equivMembership() elastic.Plan {
+	// The equiv cells finish in single-digit sim seconds, so the churn
+	// rates are extreme and the notices tiny: joins, drains AND releases
+	// must all land while maps are still running or the battery only
+	// covers the join path.
+	return elastic.Plan{
+		Spares:        4,
+		SpareSpec:     cluster.NodeSpec{Class: "spare", BaseSpeed: 2.0, Slots: 2},
+		JoinsPerHour:  3600,
+		LeavesPerHour: 1800,
+		SpotFraction:  0.5,
+		Notice:        2,
+		SpotNotice:    1,
+		Script: []elastic.Event{
+			{At: 1, Node: 50, Kind: elastic.Join},
+			{At: 3, Node: 50, Kind: elastic.Drain},
+		},
+	}
+}
+
+// TestShardEquivalenceWithMembership extends the battery to elastic
+// membership runs: spare provisioning, the controller's join/drain/
+// release cascade, graceful-drain re-execution, and node-hour accrual
+// all ride the sharded queues — the fired sequence, trace bytes, Result
+// and NodeHours must not move at any shard count, with or without a
+// network topology underneath.
+func TestShardEquivalenceWithMembership(t *testing.T) {
+	spec, err := specForEquiv(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := func(base ClusterFactory) ClusterFactory {
+		return func() (*cluster.Cluster, cluster.Interferer) {
+			c, inf := base()
+			c.Topology = &cluster.TopologySpec{HostsPerRack: 6, Oversub: 4}
+			return c, inf
+		}
+	}
+	for _, tc := range []struct {
+		name    string
+		cluster ClusterFactory
+	}{
+		{"flat", equivCluster(50)},
+		{"topology", topo(equivCluster(50))},
+	} {
+		for _, seed := range []int64{0, 42, 7} {
+			t.Run(fmt.Sprintf("%s/seed%d", tc.name, seed), func(t *testing.T) {
+				sc := Scenario{
+					Name:       "equiv-membership",
+					Cluster:    tc.cluster,
+					Seed:       seed,
+					InputSize:  50 * 2 * dfs.BUSize,
+					Membership: equivMembership(),
+				}
+				eng := Engine{Kind: FlexMap}
+				wantF, wantT, wantR := runEquivCell(t, sc, spec, eng, 1)
+				if wantR.NodeHours <= 0 {
+					t.Fatalf("membership run accrued no node-hours: %v", wantR.NodeHours)
+				}
+				// The cell must exercise the full join → drain → release
+				// cascade, not just provisioning, or it proves nothing
+				// about the drain path's shard safety.
+				for _, kind := range []string{"node-join", "node-drain", "node-release"} {
+					if !strings.Contains(string(wantT), kind) {
+						t.Fatalf("cell trace has no %s event; plan no longer covers the drain path", kind)
+					}
+				}
+				for _, shards := range []int{4, 8} {
+					label := fmt.Sprintf("shards=%d", shards)
+					gotF, gotT, gotR := runEquivCell(t, sc, spec, eng, shards)
+					diffFirings(t, label, gotF, wantF)
+					if string(gotT) != string(wantT) {
+						t.Errorf("%s: JSONL trace bytes differ (%d vs %d bytes)", label, len(gotT), len(wantT))
+					}
+					compareResults(t, label, gotR, wantR)
+					if gotR.NodeHours != wantR.NodeHours {
+						t.Errorf("%s: NodeHours = %v, want %v", label, gotR.NodeHours, wantR.NodeHours)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardEquivalenceWithAutoscaler pins the reactive path: the
+// autoscaler samples RM occupancy on a ticker and its scale decisions
+// must land on the same tick with the same target at any shard count —
+// and, run twice at the same seed, the whole run must replay exactly
+// (the runner-level autoscaler determinism property).
+func TestShardEquivalenceWithAutoscaler(t *testing.T) {
+	spec, err := specForEquiv(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Name:      "equiv-autoscale",
+		Cluster:   equivCluster(50),
+		Seed:      42,
+		InputSize: 50 * 2 * dfs.BUSize,
+		Membership: elastic.Plan{
+			Spares:    4,
+			SpareSpec: cluster.NodeSpec{Class: "spare", BaseSpeed: 2.0, Slots: 2},
+			Notice:    15,
+			Autoscale: &elastic.Autoscaler{Interval: 10, Streak: 2, Cooldown: 20},
+		},
+	}
+	eng := Engine{Kind: FlexMap}
+	wantF, wantT, wantR := runEquivCell(t, sc, spec, eng, 1)
+	replayF, replayT, replayR := runEquivCell(t, sc, spec, eng, 1)
+	diffFirings(t, "replay", replayF, wantF)
+	if string(replayT) != string(wantT) {
+		t.Error("replay: JSONL trace bytes differ across identical-seed autoscaled runs")
+	}
+	compareResults(t, "replay", replayR, wantR)
+	if replayR.NodeHours != wantR.NodeHours {
+		t.Errorf("replay: NodeHours = %v, want %v", replayR.NodeHours, wantR.NodeHours)
+	}
+	for _, shards := range []int{4, 8} {
+		label := fmt.Sprintf("shards=%d", shards)
+		gotF, gotT, gotR := runEquivCell(t, sc, spec, eng, shards)
+		diffFirings(t, label, gotF, wantF)
+		if string(gotT) != string(wantT) {
+			t.Errorf("%s: JSONL trace bytes differ", label)
+		}
+		compareResults(t, label, gotR, wantR)
+		if gotR.NodeHours != wantR.NodeHours {
+			t.Errorf("%s: NodeHours = %v, want %v", label, gotR.NodeHours, wantR.NodeHours)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"flexmap/internal/cluster"
 	"flexmap/internal/dfs"
+	"flexmap/internal/elastic"
 	"flexmap/internal/engine"
 	"flexmap/internal/faults"
 	"flexmap/internal/metrics"
@@ -69,6 +70,10 @@ type WorkloadScenario struct {
 	// Faults injects seeded node crashes/slowdowns/preemptions shared
 	// by every concurrent job.
 	Faults faults.Plan
+	// Membership provisions spare nodes and applies a seeded elastic
+	// join/drain timeline or autoscaler shared by every concurrent job
+	// (see internal/elastic). The zero value adds nothing to the run.
+	Membership elastic.Plan
 	// Shards is the event-queue shard count (0 or 1 = one queue); every
 	// output is byte-identical at any value (see sim.NewSharded).
 	Shards int
@@ -122,13 +127,22 @@ type WorkloadResult struct {
 	// GoodputBytesPerSec is successfully processed input per second of
 	// span.
 	GoodputBytesPerSec float64
-	// Utilization is busy slot-seconds over available slot-seconds.
+	// Utilization is busy slot-seconds over available slot-seconds. On
+	// elastic runs the denominator integrates provisioned capacity over
+	// time (spares count only while joined).
 	Utilization float64
-	// LatencyP50/P95/P99 are percentiles of successful-job sojourn
-	// times; MeanQueueWait averages submission→first-grant over jobs
-	// that got containers.
+	// LatencyP50/P95/P99 are percentiles of successful-job sojourn times.
+	// Failed jobs are excluded: a retry-exhaustion abort's sojourn
+	// measures the give-up policy, not service latency, and mixing the
+	// two made fault-injection cells report nonsense tails (a faults ×
+	// workload regression test pins the exclusion). MeanQueueWait
+	// averages submission→first-grant over jobs that got containers,
+	// failed or not.
 	LatencyP50, LatencyP95, LatencyP99 sim.Duration
 	MeanQueueWait                      sim.Duration
+	// NodeHours is machine-hours consumed over the span: base nodes for
+	// the whole span, spares only their joined intervals.
+	NodeHours float64
 	// CrossRackBytes is the traffic carried across the oversubscribed
 	// core when the cluster has a topology spec (0 in flat runs).
 	CrossRackBytes int64
@@ -249,6 +263,9 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 		if sc.Faults.Active() && c.Engine.Kind == SkewTune {
 			return nil, fmt.Errorf("runner: fault injection is not supported for %s (class %d)", c.Engine, i)
 		}
+		if sc.Membership.Active() && c.Engine.Kind == SkewTune {
+			return nil, fmt.Errorf("runner: elastic membership is not supported for %s (class %d)", c.Engine, i)
+		}
 	}
 	policy, err := workloadPolicy(sc)
 	if err != nil {
@@ -261,6 +278,12 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 
 	simEng := sim.NewSharded(sc.Shards)
 	clus, interferer := sc.Cluster()
+	// Spares must exist before per-node state is sized off the cluster
+	// (see Run); they start offline and perturb nothing until a join.
+	var spares []cluster.NodeID
+	if sc.Membership.Active() {
+		spares = clus.AddSpares(sc.Membership.Spares, sc.Membership.SpareSpec)
+	}
 	if err := validateNet(sc.Name, clus); err != nil {
 		return nil, err
 	}
@@ -307,6 +330,14 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 			sc.Faults.Schedule(rng.Split("faults").Seed(), clus.Size()), target)
 		injector.Trace = tracer
 	}
+	var ctl *elastic.Controller
+	if sc.Membership.Active() {
+		ctl = elastic.NewController(simEng, clus, rm, sc.Membership, spares)
+		ctl.Trace = tracer
+		if watcher != nil {
+			ctl.SetWatcher(watcher)
+		}
+	}
 	if interferer != nil {
 		interferer.Start(simEng)
 	}
@@ -314,6 +345,7 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 	st := &workloadState{
 		outcomes: make([]JobOutcome, len(arrivals)),
 		total:    len(arrivals),
+		ctl:      ctl,
 		stopAll: func() {
 			if interferer != nil {
 				interferer.Stop()
@@ -323,6 +355,9 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 			}
 			if injector != nil {
 				injector.Stop()
+			}
+			if ctl != nil {
+				ctl.Stop()
 			}
 		},
 	}
@@ -342,6 +377,9 @@ func RunWorkload(sc WorkloadScenario) (*WorkloadResult, error) {
 
 	if injector != nil {
 		injector.Start()
+	}
+	if ctl != nil {
+		ctl.Start(rng.Split("membership").Seed())
 	}
 	rm.Start()
 	deadline := sc.MaxSimTime
@@ -385,6 +423,9 @@ type workloadState struct {
 	maxConcurrent int
 	err           error
 	stopAll       func()
+	// ctl is the elastic membership controller (nil on static fleets);
+	// every submitted job registers its driver as a drainer.
+	ctl *elastic.Controller
 }
 
 // submitJob materializes one arrival: per-job input file, driver, AM,
@@ -432,6 +473,9 @@ func submitJob(simEng *sim.Engine, sc WorkloadScenario, a workload.Arrival,
 	driver.Result.Engine = class.Engine.String()
 	if watcher != nil {
 		driver.AttachWatcherShared(watcher)
+	}
+	if st.ctl != nil {
+		st.ctl.AddDrainer(driver)
 	}
 	target.drivers = append(target.drivers, driver)
 
@@ -508,7 +552,13 @@ func summarize(sc WorkloadScenario, policy yarn.Policy, clus *cluster.Cluster,
 	out.Span = sim.Duration(span)
 	if span > 0 {
 		out.GoodputBytesPerSec = float64(goodBytes) / float64(span)
-		out.Utilization = float64(busy) / (float64(span) * float64(clus.TotalSlots()))
+		slotSecs := float64(span) * float64(clus.TotalSlots())
+		out.NodeHours = float64(clus.Size()) * float64(span) / 3600
+		if st.ctl != nil {
+			slotSecs = st.ctl.SlotSeconds(span)
+			out.NodeHours = st.ctl.NodeHours(span)
+		}
+		out.Utilization = float64(busy) / slotSecs
 	}
 	if waited > 0 {
 		out.MeanQueueWait = waitSum / sim.Duration(waited)

@@ -2,12 +2,15 @@ package runner
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 
 	"flexmap/internal/dfs"
 	"flexmap/internal/faults"
+	"flexmap/internal/metrics"
 	"flexmap/internal/mr"
+	"flexmap/internal/sim"
 	"flexmap/internal/trace"
 	"flexmap/internal/workload"
 	"flexmap/internal/yarn"
@@ -290,6 +293,61 @@ func TestWorkloadFaultsGrid(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestWorkloadLatencyExcludesFailedJobs is the faults × workload
+// regression test for the latency aggregation: a retry-exhaustion
+// abort's sojourn time measures the give-up policy (retry budget ×
+// backoff), not service latency, so failed jobs must not shift the
+// percentiles. The crash-heavy cell is tuned (3 nodes, long stock
+// jobs, 120 crashes/node-hour) so seed 33 reliably exhausts some
+// retry budgets.
+func TestWorkloadLatencyExcludesFailedJobs(t *testing.T) {
+	sc := WorkloadScenario{
+		Name:    "wl-fail",
+		Cluster: homoFactory(3),
+		Seed:    33,
+		Pattern: workload.Pattern{Jobs: 10, Rate: 1.0 / 120},
+		Classes: []WorkloadClass{
+			{Name: "stock", Weight: 1, MinBytes: 48 * dfs.BUSize, MaxBytes: 64 * dfs.BUSize,
+				Engine: Engine{Kind: Hadoop, SplitMB: 64}, Spec: wlSpec(2)},
+		},
+		Policy: "fair",
+		Faults: faults.Plan{CrashRate: 120, MeanDowntime: 200},
+	}
+	res, err := RunWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed == 0 {
+		t.Fatal("cell produced no failed jobs; test no longer exercises the exclusion")
+	}
+	if res.Completed == 0 {
+		t.Fatal("cell produced no successful jobs; percentiles undefined")
+	}
+	var ok, all []float64
+	for _, j := range res.Jobs {
+		all = append(all, float64(j.Latency))
+		if !j.Failed {
+			ok = append(ok, float64(j.Latency))
+		}
+	}
+	sort.Float64s(ok)
+	sort.Float64s(all)
+	wantP50 := sim.Duration(metrics.Percentile(ok, 0.50))
+	wantP95 := sim.Duration(metrics.Percentile(ok, 0.95))
+	wantP99 := sim.Duration(metrics.Percentile(ok, 0.99))
+	if res.LatencyP50 != wantP50 || res.LatencyP95 != wantP95 || res.LatencyP99 != wantP99 {
+		t.Fatalf("percentiles (%v, %v, %v) != successful-only (%v, %v, %v)",
+			res.LatencyP50, res.LatencyP95, res.LatencyP99, wantP50, wantP95, wantP99)
+	}
+	// The exclusion must be load-bearing here: mixing the aborts back in
+	// has to move at least one percentile, or the cell proves nothing.
+	if sim.Duration(metrics.Percentile(all, 0.50)) == wantP50 &&
+		sim.Duration(metrics.Percentile(all, 0.95)) == wantP95 &&
+		sim.Duration(metrics.Percentile(all, 0.99)) == wantP99 {
+		t.Fatal("failed-job latencies do not move any percentile; pick a harsher cell")
 	}
 }
 

@@ -140,6 +140,12 @@ func (l *LATE) selectVictim(now sim.Time, candidates []*engine.MapAttempt) (*eng
 	l.mature = l.mature[:0]
 	l.rates = l.rates[:0]
 	for _, a := range candidates {
+		// A candidate killed by a silent node crash lingers in the set
+		// until heartbeat-timeout delivery; duplicating it would race a
+		// corpse.
+		if a.Killed() {
+			continue
+		}
 		age := sim.Duration(now - a.Start)
 		if age < l.MinAge {
 			continue
@@ -185,6 +191,11 @@ func (l *LATE) nodeIsSlow(c *cluster.Cluster, node *cluster.Node) bool {
 	if epoch := c.SpeedEpoch(); !l.speedsValid || l.speedsAt != epoch {
 		l.speedsBuf = l.speedsBuf[:0]
 		for _, n := range c.Nodes {
+			// Offline spares are not part of the fleet: including them
+			// would shift the slow-node percentile of the members.
+			if n.Offline() {
+				continue
+			}
 			l.speedsBuf = append(l.speedsBuf, n.Speed())
 		}
 		sort.Float64s(l.speedsBuf)

@@ -71,6 +71,15 @@ const (
 	// KindNetFlowEnd is a flow leaving the fabric — completed or canceled
 	// — with the bytes it actually moved.
 	KindNetFlowEnd
+	// KindNodeJoin is an elastic spare coming online as a cluster member.
+	KindNodeJoin
+	// KindNodeDrain is a graceful decommission starting: no new binds,
+	// running work finishes or hands off before the notice expires.
+	KindNodeDrain
+	// KindNodeRelease is a drained node leaving the cluster.
+	KindNodeRelease
+	// KindAutoscale is one autoscaler decision (scale-out or scale-in).
+	KindAutoscale
 )
 
 // String names the kind the way the JSONL "kind" field spells it.
@@ -104,6 +113,14 @@ func (k Kind) String() string {
 		return "net-flow-start"
 	case KindNetFlowEnd:
 		return "net-flow-end"
+	case KindNodeJoin:
+		return "node-join"
+	case KindNodeDrain:
+		return "node-drain"
+	case KindNodeRelease:
+		return "node-release"
+	case KindAutoscale:
+		return "autoscale"
 	}
 	return "kind-" + strconv.Itoa(int(k))
 }
@@ -408,6 +425,47 @@ func (t *Tracer) NetFlowEnd(task string, dst cluster.NodeID, transferred int64, 
 	if cross {
 		t.inc("net.cross_rack_bytes", transferred)
 	}
+}
+
+// NodeJoin records an elastic spare coming online with its slot count.
+func (t *Tracer) NodeJoin(node cluster.NodeID, slots int) {
+	if t == nil {
+		return
+	}
+	t.emit(KindNodeJoin, node, "", Int("slots", int64(slots)))
+	t.inc("elastic.joins", 1)
+}
+
+// NodeDrain records a graceful decommission starting; spot marks a
+// reclaim with short notice rather than a planned scale-in.
+func (t *Tracer) NodeDrain(node cluster.NodeID, notice sim.Duration, spot bool) {
+	if t == nil {
+		return
+	}
+	t.emit(KindNodeDrain, node, "",
+		Float("notice", float64(notice)), Bool("spot", spot))
+	t.inc("elastic.drains", 1)
+}
+
+// NodeRelease records a drained node leaving the cluster, with the map
+// attempts preempted at the deadline (0 for a fully graceful drain).
+func (t *Tracer) NodeRelease(node cluster.NodeID, preempted int) {
+	if t == nil {
+		return
+	}
+	t.emit(KindNodeRelease, node, "", Int("preempted", int64(preempted)))
+	t.inc("elastic.releases", 1)
+}
+
+// Autoscale records one autoscaler decision with the occupancy it read:
+// action is "scale-out" or "scale-in", node the spare acted on.
+func (t *Tracer) Autoscale(action string, node cluster.NodeID, busy, slots int) {
+	if t == nil {
+		return
+	}
+	t.emit(KindAutoscale, node, "",
+		Str("action", action), Int("busy", int64(busy)), Int("slots", int64(slots)))
+	t.inc("elastic.autoscale."+action, 1)
 }
 
 // NetLinkStats stamps one fabric link's end-of-run totals: bytes carried

@@ -38,13 +38,14 @@ type NodeWatcher struct {
 	rm  *RM
 	// Per-node liveness state is struct-of-arrays: flat slices indexed
 	// by the dense NodeID, walked contiguously by the batched sweep.
-	lastBeat []sim.Time
-	lost     []bool
-	wasDown  []bool
-	verdicts []uint8 // sweep scratch: per-node phase-A classification
-	onLost   []func(cluster.NodeID)
-	onRejoin []func(cluster.NodeID)
-	ticker   *sim.Ticker
+	lastBeat     []sim.Time
+	lost         []bool
+	wasDown      []bool
+	deregistered []bool
+	verdicts     []uint8 // sweep scratch: per-node phase-A classification
+	onLost       []func(cluster.NodeID)
+	onRejoin     []func(cluster.NodeID)
+	ticker       *sim.Ticker
 }
 
 // NewNodeWatcher starts liveness tracking over the cluster with the
@@ -59,10 +60,14 @@ func NewNodeWatcher(eng *sim.Engine, c *cluster.Cluster, rm *RM) *NodeWatcher {
 		lastBeat:      make([]sim.Time, c.Size()),
 		lost:          make([]bool, c.Size()),
 		wasDown:       make([]bool, c.Size()),
+		deregistered:  make([]bool, c.Size()),
 		verdicts:      make([]uint8, c.Size()),
 	}
 	for _, n := range c.Nodes {
 		w.lastBeat[n.ID] = eng.Now()
+		// Offline elastic spares are not members: they heartbeat nothing
+		// and must not be "detected" as lost. Register tracks them in.
+		w.deregistered[n.ID] = n.Offline()
 	}
 	w.ticker = sim.NewTicker(eng, w.Period, "nm-liveness", w.tick)
 	return w
@@ -82,6 +87,33 @@ func (w *NodeWatcher) Lost(id cluster.NodeID) bool {
 
 // Stop halts the liveness ticker (wired to Driver.OnFinished).
 func (w *NodeWatcher) Stop() { w.ticker.Stop() }
+
+// Deregister removes a node from liveness tracking: an elastic release
+// is a planned departure, so the missing heartbeats that follow must not
+// be "detected" as a loss, and a later re-provisioning of the same
+// NodeID must not fire stale rejoin callbacks. Pending loss/rejoin state
+// is cleared with the membership.
+func (w *NodeWatcher) Deregister(id cluster.NodeID) {
+	w.deregistered[id] = true
+	w.lost[id] = false
+	w.wasDown[id] = false
+}
+
+// Register (re-)enrolls a node in liveness tracking at an elastic join:
+// the heartbeat clock starts fresh at now, so the node gets the full
+// timeout before any loss declaration, and no rejoin fires for outages
+// that predate its membership.
+func (w *NodeWatcher) Register(id cluster.NodeID) {
+	w.deregistered[id] = false
+	w.lost[id] = false
+	w.wasDown[id] = false
+	w.lastBeat[id] = w.eng.Now()
+}
+
+// Deregistered reports whether the node is outside liveness tracking.
+func (w *NodeWatcher) Deregistered(id cluster.NodeID) bool {
+	return int(id) >= 0 && int(id) < len(w.deregistered) && w.deregistered[id]
+}
 
 // Phase-A sweep verdicts: what this round's heartbeat means for a node.
 const (
@@ -114,6 +146,8 @@ func (w *NodeWatcher) tick(now sim.Time) {
 		for i := shard * n / k; i < (shard+1)*n/k; i++ {
 			node := nodes[i]
 			switch {
+			case w.deregistered[node.ID]:
+				verdicts[i] = verdictNone
 			case !node.Down():
 				if w.lost[node.ID] || w.wasDown[node.ID] {
 					verdicts[i] = verdictRejoin
@@ -128,6 +162,9 @@ func (w *NodeWatcher) tick(now sim.Time) {
 		}
 	})
 	for i, node := range nodes {
+		if w.deregistered[node.ID] {
+			continue
+		}
 		if !node.Down() {
 			declared := w.lost[node.ID]
 			w.lost[node.ID] = false

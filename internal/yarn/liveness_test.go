@@ -109,6 +109,112 @@ func TestRepeatedCrashRejoinCycles(t *testing.T) {
 	}
 }
 
+// A deregistered node is a planned departure: the silence that follows
+// must never be declared a loss, however long it lasts.
+func TestDeregisteredNodeSilenceNotLost(t *testing.T) {
+	h := newLivenessHarness(2)
+	h.eng.At(6, "release", func() {
+		h.w.Deregister(0)
+		h.c.ReleaseNode(0)
+	})
+	h.eng.RunUntil(200)
+	if len(h.lost) != 0 {
+		t.Fatalf("deregistered node declared lost: %v", h.lost)
+	}
+	if !h.w.Deregistered(0) {
+		t.Fatal("node not reported deregistered")
+	}
+	if h.w.Deregistered(1) {
+		t.Fatal("untouched node reports deregistered")
+	}
+}
+
+// Deregistering a node that was already declared lost clears the pending
+// state: no stale rejoin fires if the same NodeID is later provisioned
+// back up, and Lost() reverts immediately.
+func TestDeregisterClearsPendingLossAndRejoin(t *testing.T) {
+	h := newLivenessHarness(2)
+	h.eng.At(6, "crash", func() { h.c.Node(0).SetDown(true) })
+	h.eng.At(25, "release", func() {
+		if !h.w.Lost(0) {
+			t.Fatal("precondition: node should be lost by t=25")
+		}
+		h.w.Deregister(0)
+	})
+	h.eng.At(30, "restore", func() { h.c.Node(0).SetDown(false) })
+	h.eng.RunUntil(100)
+	if h.w.Lost(0) {
+		t.Fatal("Lost still true after Deregister")
+	}
+	if len(h.rejoins) != 0 {
+		t.Fatalf("stale rejoin fired for deregistered node: %v", h.rejoins)
+	}
+}
+
+// Register starts the heartbeat clock fresh: a node enrolled at time T
+// gets the full MissThreshold × Period before any loss declaration, even
+// if it was silent long before T.
+func TestRegisterGrantsFullTimeout(t *testing.T) {
+	h := newLivenessHarness(2)
+	h.eng.At(6, "release", func() {
+		h.w.Deregister(0)
+		h.c.ReleaseNode(0)
+	})
+	// Rejoin at t=60 but immediately dead: loss needs beats at 65, 70,
+	// 75 all missed — declared at the t=75 tick, not before.
+	h.eng.At(60, "rejoin", func() {
+		h.c.JoinNode(0)
+		h.c.Node(0).SetDown(true) // joins broken: never heartbeats
+		h.w.Register(0)
+	})
+	h.eng.RunUntil(70)
+	if len(h.lost) != 0 {
+		t.Fatalf("re-registered node lost before a full fresh timeout: %v", h.lost)
+	}
+	h.eng.RunUntil(75)
+	if len(h.lost) != 1 || h.lost[0] != 0 {
+		t.Fatalf("lost callbacks = %v, want [0] at third missed beat", h.lost)
+	}
+}
+
+// A deregister/register cycle while the node stays up is invisible: no
+// loss, no rejoin, and tracking continues as if uninterrupted.
+func TestDeregisterRegisterCycleWhileUp(t *testing.T) {
+	h := newLivenessHarness(1)
+	h.eng.At(10, "out", func() { h.w.Deregister(0) })
+	h.eng.At(40, "in", func() { h.w.Register(0) })
+	h.eng.RunUntil(100)
+	if len(h.lost) != 0 || len(h.rejoins) != 0 {
+		t.Fatalf("cycle fired callbacks: lost=%v rejoins=%v", h.lost, h.rejoins)
+	}
+	if h.w.Deregistered(0) {
+		t.Fatal("node still deregistered after Register")
+	}
+}
+
+// Offline spares provisioned before the watcher starts are not members:
+// they begin deregistered and their silence is never a loss.
+func TestOfflineSparesStartDeregistered(t *testing.T) {
+	eng := sim.New()
+	c := cluster.Homogeneous(2)
+	spares := c.AddSpares(2, cluster.NodeSpec{})
+	rm := NewRM(eng, c)
+	rm.SetScheduler(&acceptN{rm: rm, n: 0})
+	w := NewNodeWatcher(eng, c, rm)
+	var lost []cluster.NodeID
+	w.OnLost(func(id cluster.NodeID) { lost = append(lost, id) })
+	rm.Start()
+	eng.RunUntil(200)
+	for _, id := range spares {
+		if !w.Deregistered(id) {
+			t.Fatalf("offline spare %d not deregistered at start", id)
+		}
+	}
+	if len(lost) != 0 {
+		t.Fatalf("offline spares declared lost: %v", lost)
+	}
+}
+
 func TestWatcherStopHaltsTicking(t *testing.T) {
 	h := newLivenessHarness(1)
 	h.eng.At(6, "crash", func() { h.c.Node(0).SetDown(true) })
